@@ -1,0 +1,80 @@
+// Reproduces §2.2/§3's acoustics products: ensemble broadband TL on a
+// vertical section, its uncertainty field, and the dominant coupled
+// physical–acoustical covariance modes used for coupled assimilation.
+#include <algorithm>
+#include <iostream>
+
+#include "acoustics/ensemble.hpp"
+#include "common/field_io.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "esse/cycle.hpp"
+#include "ocean/monterey.hpp"
+
+int main() {
+  using namespace essex;
+
+  ocean::Scenario sc = ocean::make_monterey_scenario(32, 28, 5);
+  ocean::OceanModel model(sc.grid, sc.params, ocean::WindForcing(sc.wind),
+                          sc.initial);
+  esse::ErrorSubspace subspace = esse::bootstrap_subspace(
+      model, sc.initial, 0.0, 12.0, 12, 0.99, 10, /*seed=*/41);
+
+  // Forecast ensemble → ocean realisations.
+  esse::PerturbationGenerator gen(subspace, {1.0, 0.01, 41});
+  const la::Vector packed = sc.initial.pack();
+  std::vector<la::Vector> members;
+  for (std::size_t i = 0; i < 12; ++i) {
+    ocean::OceanState s(sc.grid);
+    s.unpack(gen.perturbed_state(packed, i), sc.grid);
+    Rng mrng(41, i + 1);
+    model.run(s, 0.0, 12.0, &mrng);
+    members.push_back(s.pack());
+  }
+
+  acoustics::SliceGeometry geom;
+  geom.x0_km = 4.0;
+  geom.y0_km = 0.55 * sc.grid.dy_km() * (sc.grid.ny() - 1);
+  geom.x1_km = 0.72 * sc.grid.dx_km() * (sc.grid.nx() - 1);
+  geom.y1_km = geom.y0_km;
+  geom.n_range = 64;
+  geom.n_depth = 32;
+  geom.max_depth_m = 200.0;
+
+  Table t("sec 2.2: TL uncertainty per source depth and frequency");
+  t.set_header({"source depth (m)", "freq (kHz)", "mean TL (dB)",
+                "max TL std (dB)", "coupling"});
+  for (double depth : {10.0, 30.0, 60.0}) {
+    for (double freq : {0.5, 1.0}) {
+      acoustics::TLParams p;
+      p.source_depth_m = depth;
+      p.frequency_khz = freq;
+      p.n_rays = 121;
+      const auto stats =
+          acoustics::tl_ensemble_stats(sc.grid, members, geom, p);
+      double mean_tl = 0, max_sd = 0;
+      for (double v : stats.mean_tl) mean_tl += v;
+      mean_tl /= static_cast<double>(stats.mean_tl.size());
+      for (double v : stats.std_tl) max_sd = std::max(max_sd, v);
+      const auto cov =
+          acoustics::coupled_covariance(sc.grid, members, geom, p, 5);
+      t.add_row({Table::num(depth, 0), Table::num(freq, 1),
+                 Table::num(mean_tl, 1), Table::num(max_sd, 2),
+                 Table::num(cov.coupling_strength(), 4)});
+    }
+  }
+  t.print(std::cout);
+  t.write_csv("bench_acoustic_uncertainty.csv");
+
+  std::cout << "\nshape: ocean uncertainty induces TL uncertainty of "
+               "O(dB); the coupled (T,TL) covariance is non-zero — the "
+               "basis of the paper's coupled physical-acoustical "
+               "assimilation. The 'acoustic climate' over this domain is "
+            << acoustics::acoustic_climate_tasks(sc.grid, 24,
+                                                 {10.0, 30.0, 60.0},
+                                                 {0.25, 0.5, 1.0, 2.0})
+                   .size()
+            << " tasks x ensemble members — the 6000+-job fan-out of "
+               "sec 5.2.1.\n";
+  return 0;
+}

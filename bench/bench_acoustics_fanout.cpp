@@ -1,0 +1,44 @@
+// Reproduces §5.2.1 (c): "The ESSE calculation was followed by more than
+// 6000 ocean acoustics realizations - each of which executed for
+// approximately 3 minutes - in this case no job arrays were used and the
+// system handled all 6000+ jobs without any problem whatsoever."
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mtc/cluster.hpp"
+#include "mtc/scheduler.hpp"
+#include "mtc/sim.hpp"
+#include "workflow/esse_workflow_sim.hpp"
+
+int main() {
+  using namespace essex;
+  using namespace essex::workflow;
+
+  Table t("sec 5.2.1: acoustics fan-out, 3-minute singletons, no arrays");
+  t.set_header({"jobs", "makespan (min)", "throughput (jobs/min)",
+                "ideal (min)", "efficiency"});
+
+  for (std::size_t n : {1000UL, 3000UL, 6000UL, 12000UL}) {
+    mtc::Simulator sim;
+    mtc::SchedulerParams p = mtc::sge_params();
+    p.use_job_arrays = false;  // per the paper
+    mtc::ClusterScheduler sched(sim, mtc::make_home_cluster(15), p);
+    const std::size_t cores = sched.cluster().available_cores();
+    mtc::EsseJobShape shape;  // acoustics_cpu_s = 180 s
+    const FanoutMetrics m = run_acoustics_fanout(sim, sched, shape, n);
+    const double ideal_min =
+        static_cast<double>(n) * shape.acoustics_cpu_s /
+        static_cast<double>(cores) / 60.0;
+    t.add_row({std::to_string(n), Table::num(m.makespan_s / 60.0, 1),
+               Table::num(static_cast<double>(m.completed) /
+                              (m.makespan_s / 60.0),
+                          0),
+               Table::num(ideal_min, 1),
+               Table::num(ideal_min / (m.makespan_s / 60.0), 3)});
+  }
+  t.print(std::cout);
+  t.write_csv("bench_acoustics_fanout.csv");
+  std::cout << "\npaper: 6000+ jobs handled 'without any problem "
+               "whatsoever' — efficiency near 1.0 confirms the shape.\n";
+  return 0;
+}

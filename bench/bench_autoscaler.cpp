@@ -1,0 +1,53 @@
+// Explores §5.4.1's last option: "Dynamic addition of EC2 nodes to an
+// existing cluster ... automates the booting/termination of EC2 nodes
+// based on queuing system demand, further minimizing costs."
+//
+// Fixed fleets of several sizes vs the demand-driven autoscaler, on
+// c1.xlarge, for three ensemble sizes.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mtc/autoscaler.hpp"
+#include "mtc/cloud.hpp"
+
+int main() {
+  using namespace essex;
+  using namespace essex::mtc;
+
+  const EsseJobShape shape;
+  const InstanceType inst = ec2_c1_xlarge();
+
+  Table t("sec 5.4.1: fixed EC2 fleet vs demand-driven autoscaling");
+  t.set_header({"members", "fleet", "makespan (min)", "instance-hrs",
+                "cost ($)", "mean busy", "$/member"});
+
+  for (std::size_t members : {40UL, 160UL, 960UL}) {
+    for (std::size_t fixed : {5UL, 20UL}) {
+      const auto r = run_fixed_fleet_batch(shape, members, inst, fixed);
+      t.add_row({std::to_string(members),
+                 "fixed " + std::to_string(fixed),
+                 Table::num(r.makespan_s / 60.0, 1),
+                 Table::num(r.instance_hours, 0),
+                 Table::num(r.cost_usd, 2),
+                 Table::num(r.mean_busy_instances, 1),
+                 Table::num(r.cost_usd / static_cast<double>(members), 4)});
+    }
+    AutoscalerParams p;
+    p.instance = inst;
+    p.max_instances = 20;
+    const auto r = run_autoscaled_batch(shape, members, p);
+    t.add_row({std::to_string(members), "autoscaled(<=20)",
+               Table::num(r.makespan_s / 60.0, 1),
+               Table::num(r.instance_hours, 0),
+               Table::num(r.cost_usd, 2),
+               Table::num(r.mean_busy_instances, 1),
+               Table::num(r.cost_usd / static_cast<double>(members), 4)});
+  }
+  t.print(std::cout);
+  t.write_csv("bench_autoscaler.csv");
+  std::cout << "\nshape: for batches smaller than the fleet the "
+               "autoscaler books only what the queue demands (the paper's "
+               "'further minimizing costs'); for saturating batches it "
+               "converges to the fixed fleet's bill.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces the §5.4.2 cost model:
+//
+//   "Cost-wise for example an ESSE calculation with 1.5GB input data, 960
+//    ensemble members each sending back 11MB (for a total of 6.6GB) would
+//    cost: 1.5(GB)×0.1 + 10.56(GB)×0.17 + 2(hr)∗20∗0.8 = $33.95.
+//    Use of reserved instances would drop pricing for the cpu usage by
+//    more than a factor of 3."
+//
+// Plus the hourly-rounding gotcha and a members-vs-cost sweep.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mtc/cloud.hpp"
+
+int main() {
+  using namespace essex;
+  using namespace essex::mtc;
+
+  // --- the worked example -------------------------------------------------
+  BillingMeter meter;
+  meter.charge_transfer_in(1.5e9);
+  meter.charge_transfer_out(960 * 11e6);
+  meter.charge_instances(2.0 * 3600.0, 20, 0.80);
+
+  Table t("sec 5.4.2: EC2 cost of a 960-member ESSE calculation");
+  t.set_header({"component", "model ($)", "paper ($)"});
+  t.add_row({"input 1.5 GB x 0.10", Table::num(meter.transfer_in_cost(), 2),
+             "0.15"});
+  t.add_row({"output 10.56 GB x 0.17",
+             Table::num(meter.transfer_out_cost(), 2), "1.80"});
+  t.add_row({"2 hr x 20 x $0.80", Table::num(meter.compute_cost(), 2),
+             "32.00"});
+  t.add_row({"total", Table::num(meter.total(), 2), "33.95"});
+  t.add_row({"total (reserved)", Table::num(meter.total_reserved(), 2),
+             "> 3x cheaper cpu"});
+  t.print(std::cout);
+  t.write_csv("bench_ec2_cost.csv");
+
+  // --- hourly rounding ------------------------------------------------------
+  BillingMeter edge;
+  edge.charge_instances(3601.0, 20, 0.80);  // 1 h 1 s
+  std::cout << "\nhourly rounding: 1h01s on 20 instances bills "
+            << edge.instance_hours() << " instance-hours = $"
+            << Table::num(edge.compute_cost(), 2)
+            << " (paper: '1 hour 1 sec counts as 2 hours')\n";
+
+  // --- ensemble-size sweep ----------------------------------------------------
+  Table sweep("cost scaling with ensemble size (c1.xlarge fleet, 2 h)");
+  sweep.set_header({"members", "instances", "cost ($)", "reserved ($)",
+                    "$/member"});
+  for (std::size_t members : {240UL, 480UL, 960UL, 1920UL, 9600UL}) {
+    // One c1.xlarge runs 8 members in parallel; a 2 h window fits ~4
+    // sequential pemodels per slot.
+    const std::size_t instances =
+        (members + 8 * 4 - 1) / (8 * 4);
+    const double cost =
+        ec2_campaign_cost(1.5, members, 11.0, 2.0, instances, 0.80);
+    BillingMeter m2;
+    m2.charge_transfer_in(1.5e9);
+    m2.charge_transfer_out(static_cast<double>(members) * 11e6);
+    m2.charge_instances(2.0 * 3600.0, instances, 0.80);
+    sweep.add_row({std::to_string(members), std::to_string(instances),
+                   Table::num(cost, 2), Table::num(m2.total_reserved(), 2),
+                   Table::num(cost / static_cast<double>(members), 4)});
+  }
+  sweep.print(std::cout);
+  sweep.write_csv("bench_ec2_cost_sweep.csv");
+  return 0;
+}

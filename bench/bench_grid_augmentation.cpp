@@ -1,0 +1,87 @@
+// Reproduces §5.3 (Grid) and §5.4 (EC2) augmentation: growing the
+// ensemble beyond the home cluster's capacity with remote pools, the
+// queue-wait gamble, out-of-order completions, and the EC2 bill.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mtc/cloud.hpp"
+#include "mtc/cluster.hpp"
+#include "mtc/grid_site.hpp"
+#include "workflow/augmentation.hpp"
+
+int main() {
+  using namespace essex;
+  using namespace essex::workflow;
+
+  auto base = [] {
+    AugmentationConfig cfg;
+    cfg.shape = mtc::EsseJobShape{};
+    cfg.members = 960;
+    cfg.home = mtc::make_home_cluster(15);
+    return cfg;
+  };
+
+  Table t("sec 5.3/5.4: augmenting the home cluster for 960 members");
+  t.set_header({"configuration", "makespan (min)", "local-only (min)",
+                "disorder", "EC2 cost ($)"});
+
+  auto report = [&t](const char* name, const AugmentationResult& r) {
+    t.add_row({name, Table::num(r.makespan_s / 60.0, 1),
+               Table::num(r.local_only_makespan_s / 60.0, 1),
+               Table::num(100 * r.disorder_fraction, 0) + "%",
+               r.cloud_cost_usd > 0 ? Table::num(r.cloud_cost_usd, 2)
+                                    : std::string("-")});
+  };
+
+  {
+    AugmentationConfig cfg = base();
+    report("home only", run_augmented_ensemble(cfg));
+  }
+  {
+    AugmentationConfig cfg = base();
+    GridPoolConfig g;
+    g.site = mtc::purdue_site();
+    g.cores = 100;  // "around 100 at a time free to run a user job"
+    cfg.grid_pools.push_back(g);
+    report("home + Purdue(100)", run_augmented_ensemble(cfg));
+  }
+  {
+    AugmentationConfig cfg = base();
+    GridPoolConfig g1;
+    g1.site = mtc::purdue_site();
+    g1.cores = 100;
+    GridPoolConfig g2;
+    g2.site = mtc::ornl_site();
+    g2.cores = 64;
+    cfg.grid_pools.push_back(g1);
+    cfg.grid_pools.push_back(g2);
+    report("home + Purdue + ORNL", run_augmented_ensemble(cfg));
+  }
+  {
+    AugmentationConfig cfg = base();
+    GridPoolConfig g;
+    g.site = mtc::purdue_site();
+    g.site.advance_reservation = true;  // §5.3.4: reservations remove waits
+    g.cores = 100;
+    cfg.grid_pools.push_back(g);
+    report("home + Purdue (adv. reservation)", run_augmented_ensemble(cfg));
+  }
+  {
+    AugmentationConfig cfg = base();
+    CloudPoolConfig cloud;
+    cloud.instance = mtc::ec2_c1_xlarge();
+    cloud.instances = 20;  // the default EC2 instance limit (§5.4.3)
+    cfg.cloud_pool = cloud;
+    const AugmentationResult r = run_augmented_ensemble(cfg);
+    report("home + 20 x c1.xlarge", r);
+    std::cout << "(EC2 reserved-instance cost: $"
+              << Table::num(r.cloud_cost_reserved_usd, 2) << ")\n";
+  }
+  t.print(std::cout);
+  t.write_csv("bench_grid_augmentation.csv");
+  std::cout << "\nshape: every remote pool cuts the makespan below "
+               "local-only; queue waits blunt the Grid's benefit while "
+               "advance reservation restores it (sec 5.3.4); EC2 'response "
+               "is immediate' at a modest dollar cost (sec 5.4.3).\n";
+  return 0;
+}

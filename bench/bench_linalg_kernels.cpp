@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the numerical kernels on ESSE's
+// actual shapes: tall-skinny anomaly SVDs (states × members), the Gram
+// fast path vs one-sided Jacobi, the incremental-SVD alternative, and
+// the analysis-step solve.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/chol.hpp"
+#include "linalg/lowrank.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace {
+
+using namespace essex;
+using namespace essex::la;
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, n);
+  for (auto& x : a.data()) x = rng.normal();
+  return a;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SvdJacobiTallSkinny(benchmark::State& state) {
+  const auto members = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(4096, members, 3);  // states × members
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svd_thin(a, SvdMethod::kOneSidedJacobi));
+  }
+}
+BENCHMARK(BM_SvdJacobiTallSkinny)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SvdGramTallSkinny(benchmark::State& state) {
+  const auto members = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(4096, members, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svd_thin(a, SvdMethod::kGram));
+  }
+}
+BENCHMARK(BM_SvdGramTallSkinny)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_IncrementalSvdStream(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const std::size_t dim = 4096;
+  for (auto _ : state) {
+    IncrementalSvd inc(dim, rank);
+    for (int c = 0; c < 64; ++c) inc.add_column(rng.normals(dim));
+    benchmark::DoNotOptimize(inc.s());
+  }
+}
+BENCHMARK(BM_IncrementalSvdStream)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix b = random_matrix(n, n, 5);
+  Matrix a = matmul_a_bt(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Rng rng(6);
+  Vector rhs = rng.normals(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cholesky_solve(a, rhs));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RandomizedRange(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(4096, 96, 7);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(randomized_range(a, k, rng));
+  }
+}
+BENCHMARK(BM_RandomizedRange)->Arg(8)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Figs. 3 vs 4 (§4/§4.1): the serial ESSE workflow against
+// the MTC-parallel redesign, over a range of convergence points.
+//
+// The serial variant pays three barriers (forecast loop → diff loop →
+// SVD) per growth round; the parallel variant pipelines the differ and
+// SVD against the running pool and keeps headroom so the pipeline never
+// drains. The win grows when convergence needs pool growth.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mtc/cluster.hpp"
+#include "mtc/scheduler.hpp"
+#include "mtc/sim.hpp"
+#include "workflow/esse_workflow_sim.hpp"
+
+int main() {
+  using namespace essex;
+  using namespace essex::workflow;
+
+  auto run = [](bool parallel, std::size_t initial, std::size_t converge) {
+    EsseWorkflowConfig cfg;
+    cfg.shape = mtc::EsseJobShape{};
+    cfg.staging = mtc::InputStaging::kPrestageLocal;
+    cfg.initial_members = initial;
+    cfg.converge_at = converge;
+    cfg.max_members = 1200;
+    cfg.svd_stride = 50;
+    cfg.pool_headroom = 1.15;
+    cfg.master_node = 117;
+    mtc::Simulator sim;
+    mtc::ClusterScheduler sched(sim, mtc::make_home_cluster(15),
+                                mtc::sge_params());
+    return parallel ? run_parallel_esse(sim, sched, cfg)
+                    : run_serial_esse(sim, sched, cfg);
+  };
+
+  Table t("Figs 3 vs 4: serial vs MTC-parallel ESSE workflow");
+  t.set_header({"N0", "converges at", "serial (min)", "parallel (min)",
+                "speedup", "serial svd", "parallel svd"});
+  struct Case {
+    std::size_t initial, converge;
+  };
+  for (const Case c : {Case{300, 300}, Case{300, 600}, Case{300, 900},
+                       Case{600, 600}, Case{600, 1200}}) {
+    const WorkflowMetrics s = run(false, c.initial, c.converge);
+    const WorkflowMetrics p = run(true, c.initial, c.converge);
+    t.add_row({std::to_string(c.initial), std::to_string(c.converge),
+               Table::num(s.makespan_s / 60.0, 1),
+               Table::num(p.makespan_s / 60.0, 1),
+               Table::num(s.makespan_s / p.makespan_s, 2) + "x",
+               std::to_string(s.svd_runs), std::to_string(p.svd_runs)});
+  }
+  t.print(std::cout);
+  t.write_csv("bench_serial_vs_parallel.csv");
+  std::cout << "\nshape: parallel ≥ serial everywhere; the gap widens "
+               "when convergence requires growing the pool (the serial "
+               "variant re-enters its barriers per Fig. 3's loop-back).\n";
+  return 0;
+}

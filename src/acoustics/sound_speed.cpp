@@ -1,0 +1,26 @@
+#include "acoustics/sound_speed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace essex::acoustics {
+
+double mackenzie_sound_speed(double t_c, double s_psu, double depth_m) {
+  const double t = std::clamp(t_c, -2.0, 30.0);
+  const double s = std::clamp(s_psu, 25.0, 40.0);
+  const double d = std::clamp(depth_m, 0.0, 8000.0);
+  const double s35 = s - 35.0;
+  return 1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t +
+         1.340 * s35 + 1.630e-2 * d + 1.675e-7 * d * d -
+         1.025e-2 * t * s35 - 7.139e-13 * t * d * d * d;
+}
+
+double thorp_attenuation_db_per_km(double f_khz) {
+  const double f2 = f_khz * f_khz;
+  // Thorp's formula (dB/kyd) converted to dB/km (×1.0936).
+  const double db_per_kyd = 0.1 * f2 / (1.0 + f2) + 40.0 * f2 / (4100.0 + f2) +
+                            2.75e-4 * f2 + 0.003;
+  return db_per_kyd * 1.0936;
+}
+
+}  // namespace essex::acoustics

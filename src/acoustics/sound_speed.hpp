@@ -1,0 +1,20 @@
+// ESSEX: sound speed from hydrography.
+//
+// The paper's ocean-acoustics coupling (§2.2) starts from "an estimate of
+// the ocean temperature and salinity fields": sound speed is a
+// deterministic function of T, S and depth, so ESSE's physical
+// uncertainties map directly onto acoustic ones.
+#pragma once
+
+namespace essex::acoustics {
+
+/// Mackenzie (1981) nine-term equation for sound speed in sea water.
+/// `t_c` in °C, `s_psu` in practical salinity units, `depth_m` in metres.
+/// Valid for -2 ≤ T ≤ 30 °C, 25 ≤ S ≤ 40, 0 ≤ D ≤ 8000 m; inputs are
+/// clamped to that envelope.
+double mackenzie_sound_speed(double t_c, double s_psu, double depth_m);
+
+/// Thorp (1967) volume attenuation in dB/km at frequency `f_khz`.
+double thorp_attenuation_db_per_km(double f_khz);
+
+}  // namespace essex::acoustics

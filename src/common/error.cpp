@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace essex::detail {
+
+namespace {
+std::string format(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ":" << line << " — "
+     << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* cond, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", cond, file, line, msg));
+}
+
+void throw_invariant(const char* cond, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format("invariant", cond, file, line, msg));
+}
+
+}  // namespace essex::detail

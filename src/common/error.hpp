@@ -1,0 +1,62 @@
+// ESSEX: error handling primitives.
+//
+// All precondition violations throw essex::PreconditionError; internal
+// invariant failures throw essex::InvariantError. Both derive from
+// essex::Error so call sites can catch the library's failures as a family
+// without swallowing unrelated std exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace essex {
+
+/// Root of the ESSEX exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant of the library was violated (a bug in ESSEX).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical routine failed to converge within its iteration budget.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* cond, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* cond, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace essex
+
+/// Validate a documented precondition of a public entry point.
+#define ESSEX_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::essex::detail::throw_precondition(#cond, __FILE__, __LINE__,     \
+                                          (msg));                        \
+    }                                                                    \
+  } while (0)
+
+/// Validate an internal invariant; firing indicates a bug in ESSEX itself.
+#define ESSEX_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::essex::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (0)

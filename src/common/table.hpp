@@ -1,0 +1,45 @@
+// ESSEX: plain-text table and CSV emission for bench harnesses.
+//
+// Every bench binary reproduces a table or figure from the paper; Table
+// renders the same rows the paper reports (fixed-width console output)
+// and can also persist them as CSV next to the binary for EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace essex {
+
+/// Column-aligned text table with a title, e.g. the reproduction of the
+/// paper's "Table 1: pert/pemodel performance".
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Set the header row. Resets nothing else; call before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; must match the header width if a header was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with fixed precision (helper for cells).
+  static std::string num(double v, int precision = 2);
+
+  /// Render with box-drawing alignment to the stream.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (header + rows) to `path`. Throws essex::Error on I/O
+  /// failure.
+  void write_csv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace essex

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace essex {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  ESSEX_REQUIRE(n_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutting_down_ = true;
+  }
+  cancel_flag_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Fail any tasks never started.
+  for (auto& item : queue_) {
+    item.done.set_exception(std::make_exception_ptr(TaskCancelled{}));
+  }
+}
+
+std::future<void> ThreadPool::submit(
+    std::function<void(const std::atomic<bool>&)> task) {
+  ESSEX_REQUIRE(task != nullptr, "cannot submit an empty task");
+  Item item;
+  item.fn = std::move(task);
+  std::future<void> fut = item.done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ESSEX_REQUIRE(!shutting_down_, "cannot submit to a destroyed pool");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  ESSEX_REQUIRE(task != nullptr, "cannot submit an empty task");
+  return submit([t = std::move(task)](const std::atomic<bool>&) { t(); });
+}
+
+void ThreadPool::cancel_pending() {
+  std::deque<Item> discarded;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    discarded.swap(queue_);
+  }
+  cancel_flag_.store(true, std::memory_order_relaxed);
+  for (auto& item : discarded) {
+    item.done.set_exception(std::make_exception_ptr(TaskCancelled{}));
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_ && queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      item.fn(cancel_flag_);
+      item.done.set_value();
+    } catch (...) {
+      item.done.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace essex

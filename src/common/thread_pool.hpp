@@ -1,0 +1,76 @@
+// ESSEX: fixed-size worker pool used by the RealExecutor.
+//
+// The paper's parallel ESSE treats ensemble members as independent
+// "singleton" jobs drained from a pool (§4.1). In-process we model the
+// same thing with a work queue + worker threads; cancellation mirrors the
+// paper's "remaining ensemble members are canceled" on convergence.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace essex {
+
+/// Fixed-size thread pool with FIFO dispatch and cooperative cancellation.
+class ThreadPool {
+ public:
+  /// Spawn `n_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion. Tasks receive a
+  /// stop flag they may poll for cooperative cancellation.
+  std::future<void> submit(std::function<void(const std::atomic<bool>&)> task);
+
+  /// Convenience overload for tasks that ignore cancellation.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Discard tasks not yet started and raise the cancellation flag that
+  /// running tasks can poll. Pending futures complete exceptionally with
+  /// TaskCancelled.
+  void cancel_pending();
+
+  /// Block until every queued task has finished (or been cancelled).
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Number of tasks queued but not yet started.
+  std::size_t queued() const;
+
+  /// Exception delivered through futures of tasks discarded by
+  /// cancel_pending().
+  struct TaskCancelled : std::exception {
+    const char* what() const noexcept override {
+      return "ESSEX thread pool task cancelled before start";
+    }
+  };
+
+ private:
+  struct Item {
+    std::function<void(const std::atomic<bool>&)> fn;
+    std::promise<void> done;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Item> queue_;
+  std::size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::atomic<bool> cancel_flag_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace essex

@@ -1,0 +1,111 @@
+#include "esse/adaptive_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essex::esse {
+
+namespace {
+
+/// Project every candidate's H row into the subspace: q_i = Eᵀ hᵢ.
+/// Rows of the returned matrix are the q vectors (n_candidates × k).
+la::Matrix candidate_projections(const ErrorSubspace& subspace,
+                                 const obs::ObsOperator& candidates) {
+  const std::size_t k = subspace.rank();
+  const std::size_t n = candidates.count();
+  la::Matrix q(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const la::Vector hj = candidates.apply_mode(subspace.modes(), j);
+    for (std::size_t i = 0; i < n; ++i) q(i, j) = hj[i];
+  }
+  return q;
+}
+
+/// Trace reduction of a rank-1 update of the subspace covariance C by a
+/// scalar observation with projection q and noise variance r:
+/// Δtr = ‖C q‖² / (qᵀ C q + r).
+double rank1_gain(const la::Matrix& c, const la::Vector& q, double r) {
+  const la::Vector cq = la::matvec(c, q);
+  const double denom = la::dot(q, cq) + r;
+  if (denom <= 0) return 0.0;
+  return la::dot(cq, cq) / denom;
+}
+
+/// Apply the rank-1 covariance update C ← C − (Cq)(Cq)ᵀ/(qᵀCq + r).
+void rank1_update(la::Matrix& c, const la::Vector& q, double r) {
+  const la::Vector cq = la::matvec(c, q);
+  const double denom = la::dot(q, cq) + r;
+  ESSEX_ASSERT(denom > 0, "degenerate observation in rank-1 update");
+  for (std::size_t a = 0; a < c.rows(); ++a)
+    for (std::size_t b = 0; b < c.cols(); ++b)
+      c(a, b) -= cq[a] * cq[b] / denom;
+}
+
+la::Matrix initial_core(const ErrorSubspace& subspace) {
+  const std::size_t k = subspace.rank();
+  la::Matrix c(k, k);
+  for (std::size_t j = 0; j < k; ++j)
+    c(j, j) = subspace.sigmas()[j] * subspace.sigmas()[j];
+  return c;
+}
+
+double trace(const la::Matrix& c) {
+  double t = 0;
+  for (std::size_t j = 0; j < c.rows(); ++j) t += c(j, j);
+  return t;
+}
+
+}  // namespace
+
+double candidate_trace_reduction(const ErrorSubspace& subspace,
+                                 const obs::ObsOperator& candidates,
+                                 std::size_t index) {
+  ESSEX_REQUIRE(!subspace.empty(), "need a non-empty subspace");
+  ESSEX_REQUIRE(index < candidates.count(), "candidate index out of range");
+  const la::Matrix q = candidate_projections(subspace, candidates);
+  const la::Matrix c = initial_core(subspace);
+  return rank1_gain(c, q.row(index),
+                    candidates.noise_variances()[index]);
+}
+
+SamplingPlan plan_adaptive_sampling(const ErrorSubspace& subspace,
+                                    const obs::ObsOperator& candidates,
+                                    std::size_t budget) {
+  ESSEX_REQUIRE(!subspace.empty(), "need a non-empty subspace");
+  ESSEX_REQUIRE(candidates.count() > 0, "need at least one candidate");
+  ESSEX_REQUIRE(budget >= 1, "budget must be at least 1");
+
+  const std::size_t n = candidates.count();
+  const la::Matrix q = candidate_projections(subspace, candidates);
+  const la::Vector rvar = candidates.noise_variances();
+
+  la::Matrix c = initial_core(subspace);
+  SamplingPlan plan;
+  plan.initial_trace = trace(c);
+
+  std::vector<bool> used(n, false);
+  for (std::size_t pick = 0; pick < std::min(budget, n); ++pick) {
+    double best_gain = 0;
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double gain = rank1_gain(c, q.row(i), rvar[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == n || best_gain <= 1e-15 * plan.initial_trace) break;
+    used[best] = true;
+    rank1_update(c, q.row(best), rvar[best]);
+    plan.chosen.push_back(best);
+    plan.trace_after.push_back(trace(c));
+  }
+  plan.final_trace = plan.trace_after.empty() ? plan.initial_trace
+                                              : plan.trace_after.back();
+  return plan;
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,51 @@
+// ESSEX: adaptive sampling on the error subspace (paper §7).
+//
+// "Another area where MTC would be most valuable is the intelligent
+// coordination of autonomous ocean sampling networks. To achieve optimal
+// and adaptive sampling, large-dimensional nonlinear stochastic
+// optimizations ... can be required. Such complex systems are prime
+// examples of MTC problems that can be combined with our uncertainty
+// estimations."
+//
+// This module implements the canonical subspace formulation: given the
+// forecast error subspace P ≈ E Λ Eᵀ and a catalogue of candidate
+// observations, greedily pick the budget-limited subset that maximises
+// the posterior trace reduction. Each candidate's benefit is evaluated
+// in the k-dimensional subspace (a rank-1 information update), so
+// scoring a candidate costs O(k²) regardless of the state dimension —
+// which is what makes the "large ensemble of candidate plans" an MTC
+// workload rather than a full-state one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esse/error_subspace.hpp"
+#include "obs/observation.hpp"
+
+namespace essex::esse {
+
+/// The outcome of a greedy sampling optimisation.
+struct SamplingPlan {
+  std::vector<std::size_t> chosen;  ///< candidate indices, pick order
+  double initial_trace = 0;         ///< tr(P) before any observation
+  double final_trace = 0;           ///< tr(P) after the chosen set
+  std::vector<double> trace_after;  ///< tr(P) after each successive pick
+};
+
+/// Greedily select up to `budget` candidates from `candidates` (its
+/// observations define H rows and noise variances; their values are
+/// ignored) to minimise the posterior error trace.
+///
+/// Requires a non-empty subspace, at least one candidate, budget >= 1.
+SamplingPlan plan_adaptive_sampling(const ErrorSubspace& subspace,
+                                    const obs::ObsOperator& candidates,
+                                    std::size_t budget);
+
+/// Expected trace reduction of assimilating a single candidate `index`
+/// (no selection loop) — exposed for tests and ranking displays.
+double candidate_trace_reduction(const ErrorSubspace& subspace,
+                                 const obs::ObsOperator& candidates,
+                                 std::size_t index);
+
+}  // namespace essex::esse

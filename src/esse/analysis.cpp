@@ -1,0 +1,151 @@
+#include "esse/analysis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/chol.hpp"
+#include "linalg/eig_sym.hpp"
+#include "linalg/stats.hpp"
+
+namespace essex::esse {
+
+namespace {
+
+/// The shared subspace-Kalman core: given HE = H·E (p×k), the innovation
+/// d = yᵒ − H·x_f and diagonal R, produce the posterior mean/subspace.
+AnalysisResult analyze_core(const la::Vector& forecast,
+                            const ErrorSubspace& subspace,
+                            const la::Matrix& he, const la::Vector& d,
+                            const la::Vector& rvar) {
+  const std::size_t k = subspace.rank();
+  const std::size_t p = d.size();
+  for (double rv : rvar) {
+    ESSEX_REQUIRE(rv > 0.0, "observation noise variance must be positive");
+  }
+
+  // Information-form core: C = (Λ⁻¹ + HEᵀ R⁻¹ HE)⁻¹, computed as
+  // C = B (I + Bᵀ G B)⁻¹ B with B = Λ^{1/2}, G = HEᵀ R⁻¹ HE.
+  la::Matrix g(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a; b < k; ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < p; ++i)
+        s += he(i, a) * he(i, b) / rvar[i];
+      g(a, b) = s;
+      g(b, a) = s;
+    }
+  }
+  la::Matrix inner = la::Matrix::identity(k);
+  const la::Vector& sig = subspace.sigmas();
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      inner(a, b) += sig[a] * g(a, b) * sig[b];
+  la::Matrix bmat(k, k);
+  for (std::size_t a = 0; a < k; ++a) bmat(a, a) = sig[a];
+  la::Matrix inner_inv_b = la::cholesky_solve(inner, bmat);  // inner⁻¹ B
+  la::Matrix c = la::matmul(bmat, inner_inv_b);              // B inner⁻¹ B
+
+  // w = C · HEᵀ R⁻¹ d (subspace coefficients of the increment).
+  la::Vector rhs(k, 0.0);
+  for (std::size_t a = 0; a < k; ++a) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < p; ++i) s += he(i, a) * d[i] / rvar[i];
+    rhs[a] = s;
+  }
+  const la::Vector w = la::matvec(c, rhs);
+
+  AnalysisResult out;
+  out.posterior_state = forecast;
+  const la::Vector incr = subspace.expand(w);
+  for (std::size_t i = 0; i < out.posterior_state.size(); ++i)
+    out.posterior_state[i] += incr[i];
+
+  // Posterior subspace from the symmetric eigendecomposition of C.
+  la::EigSym eig = la::eig_sym(c);
+  std::size_t keep = 0;
+  while (keep < k && eig.eigenvalues[keep] >
+                         1e-14 * std::max(eig.eigenvalues[0], 1e-300)) {
+    ++keep;
+  }
+  keep = std::max<std::size_t>(keep, 1);
+  la::Matrix post_modes =
+      la::matmul(subspace.modes(), eig.eigenvectors.first_cols(keep));
+  la::Vector post_sig(keep);
+  for (std::size_t j = 0; j < keep; ++j)
+    post_sig[j] = std::sqrt(std::max(eig.eigenvalues[j], 0.0));
+  out.posterior_subspace =
+      ErrorSubspace(std::move(post_modes), std::move(post_sig));
+
+  out.prior_innovation_rms = la::rms(d);
+  out.prior_trace = subspace.total_variance();
+  out.posterior_trace = out.posterior_subspace.total_variance();
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult analyze(const la::Vector& forecast,
+                       const ErrorSubspace& subspace,
+                       const obs::ObsOperator& h) {
+  ESSEX_REQUIRE(!subspace.empty(), "analysis needs a non-empty subspace");
+  ESSEX_REQUIRE(h.count() > 0, "analysis needs at least one observation");
+  ESSEX_REQUIRE(forecast.size() == subspace.dim(),
+                "forecast dimension does not match the subspace");
+
+  const std::size_t k = subspace.rank();
+  la::Matrix he(h.count(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    he.set_col(j, h.apply_mode(subspace.modes(), j));
+  }
+  AnalysisResult out = analyze_core(forecast, subspace, he,
+                                    h.innovation(forecast),
+                                    h.noise_variances());
+  out.posterior_innovation_rms = la::rms(h.innovation(out.posterior_state));
+  return out;
+}
+
+AnalysisResult analyze_linear(const la::Vector& forecast,
+                              const ErrorSubspace& subspace,
+                              const std::vector<LinearObservation>& obs) {
+  ESSEX_REQUIRE(!subspace.empty(), "analysis needs a non-empty subspace");
+  ESSEX_REQUIRE(!obs.empty(), "analysis needs at least one observation");
+  ESSEX_REQUIRE(forecast.size() == subspace.dim(),
+                "forecast dimension does not match the subspace");
+
+  const std::size_t p = obs.size();
+  const std::size_t k = subspace.rank();
+
+  auto apply = [&](const la::Vector& x, std::size_t i) {
+    double s = 0.0;
+    for (const auto& [idx, w] : obs[i].stencil) {
+      ESSEX_REQUIRE(idx < x.size(), "stencil index out of range");
+      s += w * x[idx];
+    }
+    return s;
+  };
+
+  la::Matrix he(p, k);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (const auto& [idx, w] : obs[i].stencil) {
+        ESSEX_REQUIRE(idx < subspace.dim(), "stencil index out of range");
+        s += w * subspace.modes()(idx, j);
+      }
+      he(i, j) = s;
+    }
+  }
+  la::Vector d(p), rvar(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    d[i] = obs[i].value - apply(forecast, i);
+    rvar[i] = obs[i].variance;
+  }
+  AnalysisResult out = analyze_core(forecast, subspace, he, d, rvar);
+  la::Vector d_post(p);
+  for (std::size_t i = 0; i < p; ++i)
+    d_post[i] = obs[i].value - apply(out.posterior_state, i);
+  out.posterior_innovation_rms = la::rms(d_post);
+  return out;
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,54 @@
+// ESSEX: the ESSE analysis (data assimilation) step.
+//
+// With the forecast uncertainty P ≈ E Λ Eᵀ confined to the error
+// subspace, the minimum-variance update (paper Eq. B1c) reduces to small
+// dense algebra: the k×k posterior core C = (Λ⁻¹ + (HE)ᵀR⁻¹HE)⁻¹ gives
+// the posterior mean x_a = x_f + E·C·(HE)ᵀR⁻¹·d and the posterior modes
+// from C's eigendecomposition. Costs O(m·k + p·k²): no full-space
+// covariance is ever formed — the whole point of ESSE.
+#pragma once
+
+#include "esse/error_subspace.hpp"
+#include "linalg/matrix.hpp"
+#include "obs/observation.hpp"
+
+namespace essex::esse {
+
+/// Output of one assimilation step.
+struct AnalysisResult {
+  la::Vector posterior_state;       ///< x_a
+  ErrorSubspace posterior_subspace; ///< Ê Λ̂ Êᵀ ≈ P_a
+  double prior_innovation_rms = 0;  ///< rms(yᵒ − H x_f)
+  double posterior_innovation_rms = 0;  ///< rms(yᵒ − H x_a)
+  double prior_trace = 0;   ///< tr(P_f)
+  double posterior_trace = 0;  ///< tr(P_a) — must not exceed prior_trace
+};
+
+/// Perform the ESSE subspace Kalman update.
+///
+/// `forecast` is the central forecast x_f (dimension = subspace.dim()),
+/// `subspace` carries the forecast error modes and sigmas, and `h` holds
+/// the observations (values + diagonal noise covariance R).
+/// Requires a non-empty subspace and at least one observation.
+AnalysisResult analyze(const la::Vector& forecast,
+                       const ErrorSubspace& subspace,
+                       const obs::ObsOperator& h);
+
+/// A generic linear scalar observation on an arbitrary state vector:
+/// y = Σ weight·x[index] + ε with ε ~ N(0, variance). Lets callers (e.g.
+/// the coupled physical–acoustical assimilation of §2.2) reuse the ESSE
+/// update on joint states that are not ocean grids.
+struct LinearObservation {
+  std::vector<std::pair<std::size_t, double>> stencil;
+  double value = 0;
+  double variance = 1.0;
+};
+
+/// ESSE update against generic linear observations. Same contract as
+/// analyze(); stencil indices must lie inside the state dimension and
+/// variances must be positive.
+AnalysisResult analyze_linear(const la::Vector& forecast,
+                              const ErrorSubspace& subspace,
+                              const std::vector<LinearObservation>& obs);
+
+}  // namespace essex::esse

@@ -1,0 +1,56 @@
+#include "esse/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essex::esse {
+
+ConvergenceTest::ConvergenceTest(Params params) : params_(params) {
+  ESSEX_REQUIRE(params.similarity_threshold > 0.0 &&
+                    params.similarity_threshold <= 1.0,
+                "similarity threshold must lie in (0,1]");
+}
+
+std::optional<double> ConvergenceTest::update(const ErrorSubspace& subspace,
+                                              std::size_t n_members) {
+  if (n_members < params_.min_members) return std::nullopt;
+  if (!previous_.has_value()) {
+    previous_ = subspace;
+    previous_n_ = n_members;
+    return std::nullopt;
+  }
+  ESSEX_REQUIRE(n_members >= previous_n_,
+                "convergence updates must use non-decreasing ensemble sizes");
+  const double rho = subspace_similarity(*previous_, subspace);
+  history_.push_back({n_members, rho});
+  if (rho >= params_.similarity_threshold) converged_ = true;
+  previous_ = subspace;
+  previous_n_ = n_members;
+  return rho;
+}
+
+EnsembleSizeController::EnsembleSizeController(Params params)
+    : params_(params), target_(params.initial) {
+  ESSEX_REQUIRE(params.initial >= 2, "initial ensemble size must be >= 2");
+  ESSEX_REQUIRE(params.growth > 1.0, "growth factor must exceed 1");
+  ESSEX_REQUIRE(params.max_members >= params.initial,
+                "Nmax must be >= the initial size");
+}
+
+std::size_t EnsembleSizeController::pool_target(double headroom) const {
+  ESSEX_REQUIRE(headroom >= 1.0, "pool headroom must be >= 1");
+  const auto m = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(target_) * headroom));
+  return std::min(m, params_.max_members);
+}
+
+std::size_t EnsembleSizeController::grow() {
+  const auto next = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(target_) * params_.growth));
+  target_ = std::min(std::max(next, target_ + 1), params_.max_members);
+  return target_;
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,155 @@
+#include "esse/cycle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace essex::esse {
+
+namespace {
+
+/// Integrate one ensemble member from a packed initial condition.
+la::Vector run_member(const ocean::OceanModel& model,
+                      const la::Vector& packed_initial, double t0_hours,
+                      double forecast_hours, bool stochastic,
+                      std::uint64_t seed, std::size_t member_id) {
+  ocean::OceanState state(model.grid());
+  state.unpack(packed_initial, model.grid());
+  if (stochastic) {
+    // Stream offset keeps model-noise draws independent of the
+    // perturbation draws for the same member id.
+    Rng rng(seed ^ 0xA5A5A5A5ULL, member_id + 1);
+    model.run(state, t0_hours, forecast_hours, &rng);
+  } else {
+    model.run(state, t0_hours, forecast_hours, nullptr);
+  }
+  return state.pack();
+}
+
+}  // namespace
+
+ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
+                                        const ocean::OceanState& initial,
+                                        const ErrorSubspace& initial_subspace,
+                                        double t0_hours,
+                                        const CycleParams& params) {
+  ESSEX_REQUIRE(params.forecast_hours > 0, "forecast length must be > 0");
+  ESSEX_REQUIRE(params.check_interval >= 1, "check interval must be >= 1");
+  const la::Vector packed_initial = initial.pack();
+  ESSEX_REQUIRE(packed_initial.size() == initial_subspace.dim(),
+                "initial subspace does not match the state dimension");
+
+  // Central (unperturbed, deterministic) forecast.
+  la::Vector central = run_member(model, packed_initial, t0_hours,
+                                  params.forecast_hours, false,
+                                  params.perturbation.seed, 0);
+
+  PerturbationGenerator pert(initial_subspace, params.perturbation);
+  Differ differ(central);
+  ConvergenceTest conv(params.convergence);
+  EnsembleSizeController sizer(params.ensemble);
+
+  ForecastResult out;
+  std::size_t next_id = 0;
+
+  auto run_block = [&](std::size_t count) {
+    const std::size_t first = next_id;
+    next_id += count;
+    if (params.threads <= 1) {
+      for (std::size_t id = first; id < first + count; ++id) {
+        la::Vector x0 = pert.perturbed_state(packed_initial, id);
+        la::Vector xf = run_member(model, x0, t0_hours, params.forecast_hours,
+                                   params.stochastic_members,
+                                   params.perturbation.seed, id);
+        differ.add_member(id, xf);
+      }
+      return;
+    }
+    ThreadPool pool(params.threads);
+    for (std::size_t id = first; id < first + count; ++id) {
+      pool.submit([&, id] {
+        la::Vector x0 = pert.perturbed_state(packed_initial, id);
+        la::Vector xf = run_member(model, x0, t0_hours, params.forecast_hours,
+                                   params.stochastic_members,
+                                   params.perturbation.seed, id);
+        differ.add_member(id, xf);
+      });
+    }
+    pool.wait_idle();
+  };
+
+  // Staged growth loop: run blocks of check_interval members up to the
+  // current target; test convergence after each block.
+  for (;;) {
+    while (differ.count() < sizer.target()) {
+      const std::size_t block =
+          std::min(params.check_interval, sizer.target() - differ.count());
+      run_block(block);
+      if (differ.count() >= 2) {
+        ErrorSubspace sub = differ.subspace(params.variance_fraction,
+                                            params.max_rank);
+        conv.update(sub, differ.count());
+        if (conv.converged()) break;
+      }
+    }
+    if (conv.converged() || sizer.at_max()) break;
+    sizer.grow();
+  }
+
+  out.central_forecast = std::move(central);
+  out.forecast_subspace =
+      differ.subspace(params.variance_fraction, params.max_rank);
+  out.members_run = differ.count();
+  out.converged = conv.converged();
+  out.convergence_history = conv.history();
+  return out;
+}
+
+CycleResult run_assimilation_cycle(const ocean::OceanModel& model,
+                                   const ocean::OceanState& initial,
+                                   const ErrorSubspace& initial_subspace,
+                                   double t0_hours,
+                                   const obs::ObsOperator& h,
+                                   const CycleParams& params) {
+  CycleResult out;
+  out.forecast = run_uncertainty_forecast(model, initial, initial_subspace,
+                                          t0_hours, params);
+  out.analysis = analyze(out.forecast.central_forecast,
+                         out.forecast.forecast_subspace, h);
+  return out;
+}
+
+ErrorSubspace bootstrap_subspace(const ocean::OceanModel& model,
+                                 const ocean::OceanState& initial,
+                                 double t0_hours, double spinup_hours,
+                                 std::size_t n_samples,
+                                 double variance_fraction,
+                                 std::size_t max_rank, std::uint64_t seed,
+                                 std::size_t threads) {
+  ESSEX_REQUIRE(n_samples >= 2, "bootstrap needs at least two samples");
+  const la::Vector packed = initial.pack();
+  // Deterministic reference run.
+  la::Vector central =
+      run_member(model, packed, t0_hours, spinup_hours, false, seed, 0);
+  Differ differ(central);
+
+  auto one = [&](std::size_t id) {
+    la::Vector xf =
+        run_member(model, packed, t0_hours, spinup_hours, true, seed, id);
+    differ.add_member(id, xf);
+  };
+
+  if (threads <= 1) {
+    for (std::size_t id = 0; id < n_samples; ++id) one(id);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t id = 0; id < n_samples; ++id) {
+      pool.submit([&, id] { one(id); });
+    }
+    pool.wait_idle();
+  }
+  return differ.subspace(variance_fraction, max_rank);
+}
+
+}  // namespace essex::esse

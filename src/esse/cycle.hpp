@@ -1,0 +1,80 @@
+// ESSEX: the ESSE forecast/assimilation cycle (paper Fig. 2).
+//
+// This is the *scientific* driver: perturb → ensemble forecast → differ →
+// SVD → convergence test → (optionally) assimilate, all in-process with
+// an optional thread pool. The MTC execution semantics of Fig. 4 —
+// schedulers, I/O staging, cancellation policies — live in src/workflow;
+// both layers share these numerics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esse/analysis.hpp"
+#include "esse/convergence.hpp"
+#include "esse/differ.hpp"
+#include "esse/error_subspace.hpp"
+#include "esse/perturbation.hpp"
+#include "obs/observation.hpp"
+#include "ocean/model.hpp"
+
+namespace essex::esse {
+
+/// Knobs for one forecast cycle.
+struct CycleParams {
+  PerturbationGenerator::Params perturbation;
+  ConvergenceTest::Params convergence;
+  EnsembleSizeController::Params ensemble;
+  double forecast_hours = 24.0;   ///< simulation-time length of the forecast
+  double variance_fraction = 0.99;  ///< subspace truncation
+  std::size_t max_rank = 0;       ///< 0 = uncapped
+  std::size_t check_interval = 8;  ///< members between SVD/convergence tests
+  std::size_t threads = 1;        ///< worker threads for member runs
+  bool stochastic_members = true;  ///< members feel model noise (dη)
+};
+
+/// Outcome of the uncertainty-forecast stage.
+struct ForecastResult {
+  la::Vector central_forecast;      ///< packed central (unperturbed) run
+  ErrorSubspace forecast_subspace;  ///< dominant forecast error modes
+  std::size_t members_run = 0;
+  bool converged = false;
+  std::vector<ConvergenceTest::Sample> convergence_history;
+};
+
+/// Run the ensemble uncertainty forecast: integrate the central state and
+/// `N` perturbed members from `t0_hours` for `forecast_hours`, growing N
+/// per the controller until the subspace converges or Nmax is reached.
+ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
+                                        const ocean::OceanState& initial,
+                                        const ErrorSubspace& initial_subspace,
+                                        double t0_hours,
+                                        const CycleParams& params);
+
+/// Full cycle: uncertainty forecast followed by the ESSE analysis against
+/// the given observations. Returns both stages' outputs.
+struct CycleResult {
+  ForecastResult forecast;
+  AnalysisResult analysis;
+};
+
+CycleResult run_assimilation_cycle(const ocean::OceanModel& model,
+                                   const ocean::OceanState& initial,
+                                   const ErrorSubspace& initial_subspace,
+                                   double t0_hours,
+                                   const obs::ObsOperator& h,
+                                   const CycleParams& params);
+
+/// Build an initial error subspace when no posterior from a previous
+/// cycle exists: sample `n_samples` stochastic model integrations of
+/// length `spinup_hours` about `initial` and take their dominant spread
+/// modes. This is the "error nowcast" bootstrap.
+ErrorSubspace bootstrap_subspace(const ocean::OceanModel& model,
+                                 const ocean::OceanState& initial,
+                                 double t0_hours, double spinup_hours,
+                                 std::size_t n_samples,
+                                 double variance_fraction,
+                                 std::size_t max_rank, std::uint64_t seed,
+                                 std::size_t threads = 1);
+
+}  // namespace essex::esse

@@ -1,0 +1,62 @@
+#include "esse/differ.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/parallel_kernels.hpp"
+
+namespace essex::esse {
+
+Differ::Differ(la::Vector central) : central_(std::move(central)) {
+  ESSEX_REQUIRE(!central_.empty(), "central forecast must be non-empty");
+}
+
+void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
+  ESSEX_REQUIRE(forecast.size() == central_.size(),
+                "member forecast dimension mismatch");
+  la::Vector anom(central_.size());
+  for (std::size_t i = 0; i < anom.size(); ++i)
+    anom[i] = forecast[i] - central_[i];
+  std::lock_guard<std::mutex> lk(mu_);
+  ESSEX_REQUIRE(std::find(member_ids_.begin(), member_ids_.end(),
+                          member_id) == member_ids_.end(),
+                "duplicate ensemble member id");
+  anomalies_.push_back(std::move(anom));
+  member_ids_.push_back(member_id);
+}
+
+std::size_t Differ::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return anomalies_.size();
+}
+
+SpreadSnapshot Differ::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ESSEX_REQUIRE(anomalies_.size() >= 2,
+                "need at least two members for a spread estimate");
+  SpreadSnapshot snap;
+  snap.member_ids = member_ids_;
+  snap.anomalies = la::Matrix::from_columns(anomalies_);
+  const double scale =
+      1.0 / std::sqrt(static_cast<double>(anomalies_.size() - 1));
+  snap.anomalies *= scale;
+  return snap;
+}
+
+ErrorSubspace Differ::subspace(double variance_fraction, std::size_t max_rank,
+                               la::SvdMethod method) const {
+  const SpreadSnapshot snap = snapshot();
+  const la::ThinSvd svd = la::svd_thin(snap.anomalies, method);
+  return ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
+}
+
+ErrorSubspace Differ::subspace_parallel(ThreadPool& pool,
+                                        double variance_fraction,
+                                        std::size_t max_rank) const {
+  const SpreadSnapshot snap = snapshot();
+  const la::ThinSvd svd = la::svd_gram_parallel(snap.anomalies, pool);
+  return ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
+}
+
+}  // namespace essex::esse

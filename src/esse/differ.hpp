@@ -1,0 +1,76 @@
+// ESSEX: the continuously-running "differ" (paper §4.1, Fig. 4).
+//
+// Ensemble members land in arbitrary order; the differ subtracts the
+// central forecast from each, normalises by 1/sqrt(n-1) lazily, and keeps
+// per-member bookkeeping (which perturbation index produced each column —
+// the paper's fix for bottleneck 2). It is thread-safe so concurrent
+// executor workers can push results while SVD snapshots are taken.
+//
+// The covariance "file" semantics of the paper (safe copy + alternating
+// live pair) are modelled by snapshot(): the caller receives an immutable
+// copy of the anomaly matrix — the safe file — while the live matrix keeps
+// growing.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "esse/error_subspace.hpp"
+#include "linalg/lowrank.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace essex::esse {
+
+/// A snapshot of the accumulated ensemble spread, normalised so that
+/// A Aᵀ is the sample covariance estimate.
+struct SpreadSnapshot {
+  la::Matrix anomalies;             ///< m × n, already scaled by 1/√(n−1)
+  std::vector<std::size_t> member_ids;  ///< column → perturbation index
+};
+
+/// Thread-safe accumulator of forecast anomalies about the central
+/// forecast.
+class Differ {
+ public:
+  /// `central` is the central (unperturbed) forecast the anomalies are
+  /// taken about.
+  explicit Differ(la::Vector central);
+
+  /// Absorb the forecast of member `member_id`. Any arrival order is
+  /// accepted; duplicate ids are rejected.
+  void add_member(std::size_t member_id, const la::Vector& forecast);
+
+  /// Number of members absorbed so far.
+  std::size_t count() const;
+
+  /// Copy out the normalised anomaly matrix (the "safe file" the SVD
+  /// reads). Requires count() >= 2.
+  SpreadSnapshot snapshot() const;
+
+  /// Compute the error subspace from the current snapshot via thin SVD,
+  /// truncated to `variance_fraction` / `max_rank` (0 = no cap).
+  ErrorSubspace subspace(double variance_fraction = 0.99,
+                         std::size_t max_rank = 0,
+                         la::SvdMethod method = la::SvdMethod::kGram) const;
+
+  /// Same, with the Gram products spread over `pool` — the in-process
+  /// analogue of the paper's shared-memory-parallel LAPACK SVD on the
+  /// master node.
+  ErrorSubspace subspace_parallel(ThreadPool& pool,
+                                  double variance_fraction = 0.99,
+                                  std::size_t max_rank = 0) const;
+
+  const la::Vector& central() const { return central_; }
+
+ private:
+  la::Vector central_;
+  mutable std::mutex mu_;
+  std::vector<la::Vector> anomalies_;  // unnormalised member − central
+  std::vector<std::size_t> member_ids_;
+};
+
+}  // namespace essex::esse

@@ -1,0 +1,74 @@
+#include "esse/smoother.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "linalg/stats.hpp"
+#include "linalg/svd.hpp"
+
+namespace essex::esse {
+
+SmootherResult smooth_state(const SpreadSnapshot& past,
+                            const la::Vector& past_state,
+                            const SpreadSnapshot& present,
+                            const la::Vector& present_forecast,
+                            const la::Vector& present_smoothed,
+                            double svd_rel_tol) {
+  ESSEX_REQUIRE(past.anomalies.rows() == past_state.size(),
+                "past snapshot does not match the past state");
+  ESSEX_REQUIRE(present.anomalies.rows() == present_forecast.size() &&
+                    present_forecast.size() == present_smoothed.size(),
+                "present snapshot/state shape mismatch");
+
+  // Match member columns by id (completion order may differ between the
+  // two times — §4.1's order-free bookkeeping).
+  std::unordered_map<std::size_t, std::size_t> present_col;
+  for (std::size_t c = 0; c < present.member_ids.size(); ++c)
+    present_col.emplace(present.member_ids[c], c);
+  std::vector<std::size_t> past_cols, pres_cols;
+  for (std::size_t c = 0; c < past.member_ids.size(); ++c) {
+    auto it = present_col.find(past.member_ids[c]);
+    if (it == present_col.end()) continue;
+    past_cols.push_back(c);
+    pres_cols.push_back(it->second);
+  }
+  ESSEX_REQUIRE(past_cols.size() >= 2,
+                "need at least two common ensemble members to smooth");
+
+  const std::size_t n = past_cols.size();
+  la::Matrix a0(past_state.size(), n);
+  la::Matrix a1(present_forecast.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a0.set_col(j, past.anomalies.col(past_cols[j]));
+    a1.set_col(j, present.anomalies.col(pres_cols[j]));
+  }
+
+  // δ₁ = x₁ˢ − x₁ᶠ.
+  la::Vector delta = la::sub(present_smoothed, present_forecast);
+
+  // Ensemble-space evaluation: w = V₁ Σ₁⁻¹ U₁ᵀ δ, increment = A₀ w.
+  const la::ThinSvd svd = la::svd_thin(a1, la::SvdMethod::kGram);
+  const std::size_t rank = svd.rank(svd_rel_tol);
+  la::Vector ut_delta = la::matvec_t(svd.u, delta);
+  la::Vector w(n, 0.0);
+  double captured = 0.0;
+  for (std::size_t k = 0; k < rank; ++k) {
+    captured += ut_delta[k] * ut_delta[k];
+    const double coeff = ut_delta[k] / svd.s[k];
+    for (std::size_t j = 0; j < n; ++j) w[j] += svd.v(j, k) * coeff;
+  }
+  const la::Vector increment = la::matvec(a0, w);
+
+  SmootherResult out;
+  out.smoothed_state = past_state;
+  for (std::size_t i = 0; i < out.smoothed_state.size(); ++i)
+    out.smoothed_state[i] += increment[i];
+  out.increment_rms = la::rms(increment);
+  const double delta_energy = la::dot(delta, delta);
+  out.representable_fraction =
+      delta_energy > 0 ? captured / delta_energy : 1.0;
+  return out;
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,45 @@
+// ESSEX: ESSE smoothing (paper ref. [16]: "Advanced interdisciplinary
+// data assimilation: Filtering and smoothing via Error Subspace
+// Statistical Estimation").
+//
+// Filtering only corrects the *present*; smoothing carries later data
+// backward: given the ensemble anomalies at an earlier time t₀ and at
+// the analysis time t₁ (same member ids), the statistical-linearised
+// backward update is
+//
+//   x₀ˢ = x₀ + P₀₁ P₁⁺ (x₁ˢ − x₁ᶠ)  with  P₀₁ = A₀A₁ᵀ, P₁ = A₁A₁ᵀ,
+//
+// evaluated entirely in the ensemble space through the thin SVD of A₁:
+// P₀₁P₁⁺ δ = A₀ V₁ Σ₁⁻¹ U₁ᵀ δ — no full-space covariance is formed.
+#pragma once
+
+#include "esse/differ.hpp"
+#include "linalg/matrix.hpp"
+
+namespace essex::esse {
+
+/// Outcome of one backward smoothing step.
+struct SmootherResult {
+  la::Vector smoothed_state;  ///< x₀ˢ
+  double increment_rms = 0;   ///< rms(x₀ˢ − x₀)
+  /// Fraction of the present-time increment's energy captured by the
+  /// ensemble subspace (1 = fully representable; small values mean the
+  /// smoother could only act on part of the correction).
+  double representable_fraction = 0;
+};
+
+/// Smooth the earlier state `past_state` using the present-time
+/// correction `present_smoothed − present_forecast`.
+///
+/// `past` and `present` must hold anomalies for the SAME member ids (the
+/// differ records them; order may differ — columns are matched by id).
+/// Members present in only one snapshot are ignored; at least two common
+/// members are required.
+SmootherResult smooth_state(const SpreadSnapshot& past,
+                            const la::Vector& past_state,
+                            const SpreadSnapshot& present,
+                            const la::Vector& present_forecast,
+                            const la::Vector& present_smoothed,
+                            double svd_rel_tol = 1e-8);
+
+}  // namespace essex::esse

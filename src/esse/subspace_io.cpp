@@ -1,0 +1,87 @@
+#include "esse/subspace_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ocean/state_io.hpp"
+
+namespace essex::esse {
+
+namespace {
+
+using ocean::esxf::kKindSubspace;
+using ocean::esxf::kMagic;
+using ocean::esxf::kVersion;
+
+void write_u32(std::ofstream& f, std::uint32_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::ifstream& f) {
+  std::uint32_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_subspace(const std::string& path, const ErrorSubspace& subspace) {
+  ESSEX_REQUIRE(!subspace.empty(), "cannot save an empty subspace");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot open for writing: " + path);
+  f.write(kMagic, 4);
+  write_u32(f, kVersion);
+  write_u32(f, kKindSubspace);
+  write_u64(f, subspace.dim());
+  write_u64(f, subspace.rank());
+  f.write(reinterpret_cast<const char*>(subspace.sigmas().data()),
+          static_cast<std::streamsize>(subspace.rank() * sizeof(double)));
+  f.write(reinterpret_cast<const char*>(subspace.modes().data().data()),
+          static_cast<std::streamsize>(subspace.modes().data().size() *
+                                       sizeof(double)));
+  if (!f) throw Error("failed writing: " + path);
+}
+
+ErrorSubspace load_subspace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+    throw Error("not an ESSEX product file: " + path);
+  }
+  if (read_u32(f) != kVersion) {
+    throw Error("unsupported product version in " + path);
+  }
+  if (read_u32(f) != kKindSubspace) {
+    throw Error("wrong product kind in " + path);
+  }
+  const std::uint64_t dim = read_u64(f);
+  const std::uint64_t rank = read_u64(f);
+  if (dim == 0 || rank == 0 || rank > dim) {
+    throw Error("corrupt subspace header in " + path);
+  }
+  la::Vector sigmas(rank);
+  f.read(reinterpret_cast<char*>(sigmas.data()),
+         static_cast<std::streamsize>(rank * sizeof(double)));
+  la::Matrix modes(dim, rank);
+  f.read(reinterpret_cast<char*>(modes.data().data()),
+         static_cast<std::streamsize>(modes.data().size() * sizeof(double)));
+  if (!f) throw Error("truncated product file: " + path);
+  return ErrorSubspace(std::move(modes), std::move(sigmas));
+}
+
+}  // namespace essex::esse

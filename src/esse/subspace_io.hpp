@@ -1,0 +1,19 @@
+// ESSEX: error-subspace product files (the workflow's "covariance
+// file"). Same ESXF container as ocean/state_io.hpp; see that header for
+// the format rationale.
+#pragma once
+
+#include <string>
+
+#include "esse/error_subspace.hpp"
+
+namespace essex::esse {
+
+/// Write an error subspace (modes + sigmas). Overwrites.
+/// Throws essex::Error on I/O failure.
+void save_subspace(const std::string& path, const ErrorSubspace& subspace);
+
+/// Read a subspace saved by save_subspace().
+ErrorSubspace load_subspace(const std::string& path);
+
+}  // namespace essex::esse

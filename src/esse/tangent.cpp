@@ -1,0 +1,66 @@
+#include "esse/tangent.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/svd.hpp"
+
+namespace essex::esse {
+
+TangentForecast tangent_forecast(const ocean::OceanModel& model,
+                                 const ocean::OceanState& initial,
+                                 const ErrorSubspace& subspace,
+                                 double t0_hours, double forecast_hours,
+                                 double epsilon, std::size_t threads,
+                                 double variance_fraction,
+                                 std::size_t max_rank) {
+  ESSEX_REQUIRE(!subspace.empty(), "need a non-empty subspace");
+  ESSEX_REQUIRE(epsilon > 0, "perturbation scale must be positive");
+  ESSEX_REQUIRE(forecast_hours > 0, "forecast length must be positive");
+  const la::Vector packed = initial.pack();
+  ESSEX_REQUIRE(packed.size() == subspace.dim(),
+                "subspace does not match the state dimension");
+
+  auto integrate = [&](const la::Vector& x0) {
+    ocean::OceanState s(model.grid());
+    s.unpack(x0, model.grid());
+    model.run(s, t0_hours, forecast_hours, nullptr);
+    return s.pack();
+  };
+
+  TangentForecast out;
+  out.central_forecast = integrate(packed);
+  const std::size_t k = subspace.rank();
+  out.model_runs = k + 1;
+
+  // Propagated, σ-scaled columns: (M(x̂+εσⱼeⱼ) − M(x̂))/ε ≈ σⱼ·M'eⱼ.
+  la::Matrix propagated(subspace.dim(), k);
+  auto run_mode = [&](std::size_t j) {
+    la::Vector x0 = packed;
+    const double scale = epsilon * subspace.sigmas()[j];
+    if (scale <= 0) return;  // null mode propagates to nothing
+    for (std::size_t i = 0; i < x0.size(); ++i)
+      x0[i] += scale * subspace.modes()(i, j);
+    const la::Vector xf = integrate(x0);
+    for (std::size_t i = 0; i < x0.size(); ++i)
+      propagated(i, j) = (xf[i] - out.central_forecast[i]) / epsilon;
+  };
+
+  if (threads <= 1) {
+    for (std::size_t j = 0; j < k; ++j) run_mode(j);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t j = 0; j < k; ++j) {
+      pool.submit([&run_mode, j] { run_mode(j); });
+    }
+    pool.wait_idle();
+  }
+
+  const la::ThinSvd svd = la::svd_thin(propagated, la::SvdMethod::kGram);
+  out.forecast_subspace =
+      ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
+  return out;
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,41 @@
+// ESSEX: deterministic error-subspace forecast by mode propagation.
+//
+// The full ESSE methodology (paper refs. [10,15]) can evolve the error
+// subspace either by a Monte-Carlo ensemble (what §4 parallelises) or by
+// propagating each error mode through the tangent-linear dynamics. The
+// finite-difference form needs only rank+1 model runs instead of N ≫
+// rank members:
+//
+//   L·eⱼ ≈ [M(x̂ + ε σⱼ eⱼ) − M(x̂)] / ε,
+//
+// an SVD of the propagated, σ-scaled columns yields the forecast modes.
+// It misses the model-noise contribution (dη) the stochastic ensemble
+// captures — the trade-off the ablation bench quantifies.
+#pragma once
+
+#include <cstddef>
+
+#include "esse/error_subspace.hpp"
+#include "ocean/model.hpp"
+
+namespace essex::esse {
+
+struct TangentForecast {
+  la::Vector central_forecast;      ///< deterministic M(x̂)
+  ErrorSubspace forecast_subspace;  ///< propagated + re-orthonormalised
+  std::size_t model_runs = 0;       ///< rank + 1
+};
+
+/// Propagate `subspace` from `t0_hours` over `forecast_hours` through
+/// the (deterministic) model, using perturbation scale `epsilon` per
+/// mode. `threads` > 1 runs the mode integrations on a thread pool.
+TangentForecast tangent_forecast(const ocean::OceanModel& model,
+                                 const ocean::OceanState& initial,
+                                 const ErrorSubspace& subspace,
+                                 double t0_hours, double forecast_hours,
+                                 double epsilon = 1.0,
+                                 std::size_t threads = 1,
+                                 double variance_fraction = 0.99,
+                                 std::size_t max_rank = 0);
+
+}  // namespace essex::esse

@@ -1,0 +1,50 @@
+// ESSEX: forecast verification and ensemble-calibration metrics.
+//
+// "A comprehensive prediction should include the reliability of estimated
+// quantities" (paper §2). This module supplies the standard diagnostics a
+// real-time system reports against withheld truth or observations: RMSE,
+// bias, anomaly correlation, the spread–skill ratio (is the predicted
+// uncertainty the right size?) and the rank histogram (is the ensemble
+// statistically indistinguishable from the truth?).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esse/error_subspace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace essex::esse {
+
+/// Point metrics of one estimate against truth.
+struct SkillScore {
+  double rmse = 0;
+  double bias = 0;      ///< mean(estimate − truth)
+  double anomaly_correlation = 0;  ///< about the given climatology
+};
+
+/// Compute RMSE/bias/AC of `estimate` vs `truth`, anomalies taken about
+/// `climatology`. All vectors must share a length >= 2.
+SkillScore skill(const la::Vector& estimate, const la::Vector& truth,
+                 const la::Vector& climatology);
+
+/// Spread–skill ratio: predicted ensemble stddev (RMS of the subspace's
+/// marginal stddev) over actual RMSE. ≈1 for a calibrated system, <1
+/// over-confident, >1 under-dispersive ensemble flagged the other way.
+double spread_skill_ratio(const ErrorSubspace& subspace,
+                          const la::Vector& estimate,
+                          const la::Vector& truth);
+
+/// Rank (Talagrand) histogram: for each of `n_probe` randomly probed
+/// state components, the rank of the truth among the ensemble member
+/// values. Flat ⇒ calibrated; U-shaped ⇒ under-dispersive.
+/// `members` holds the packed member states (>= 2 members).
+std::vector<std::size_t> rank_histogram(
+    const std::vector<la::Vector>& members, const la::Vector& truth,
+    std::size_t n_probe, std::uint64_t seed);
+
+/// Chi-square statistic of a histogram against the uniform distribution
+/// (a scalar summary for tests: small ⇒ flat).
+double histogram_flatness(const std::vector<std::size_t>& histogram);
+
+}  // namespace essex::esse

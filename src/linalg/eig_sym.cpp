@@ -1,0 +1,94 @@
+#include "linalg/eig_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace essex::la {
+
+EigSym eig_sym(const Matrix& a, int max_sweeps, double sym_tol) {
+  ESSEX_REQUIRE(a.rows() == a.cols(), "eig_sym requires a square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+
+  // Symmetrise (and verify the caller gave something symmetric-ish).
+  Matrix w(n, n);
+  const double scale = std::max(a.max_abs(), 1e-300);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ESSEX_REQUIRE(std::fabs(a(i, j) - a(j, i)) <= sym_tol * scale,
+                    "eig_sym input is not symmetric");
+      w(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += w(i, j) * w(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double tol = 1e-14 * std::max(w.frobenius_norm(), 1e-300);
+  int sweep = 0;
+  while (off_norm() > tol) {
+    if (++sweep > max_sweeps) {
+      throw ConvergenceError("Jacobi eigensolver failed to converge");
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = w(p, p);
+        const double aqq = w(q, q);
+        // Classic Jacobi rotation: zero out w(p,q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p);
+          const double wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k);
+          const double wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return w(i, i) > w(j, j);
+  });
+
+  EigSym out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = w(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace essex::la

@@ -1,0 +1,27 @@
+// ESSEX: symmetric eigensolver (cyclic Jacobi).
+//
+// ESSE's covariance matrices are small (members × members) and symmetric
+// positive semi-definite; the cyclic Jacobi method is simple, extremely
+// accurate for such matrices, and needs no pivot heuristics.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace essex::la {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) Vᵀ with
+/// eigenvalues sorted in DESCENDING order and eigenvectors in the
+/// matching column order of V.
+struct EigSym {
+  Vector eigenvalues;  ///< descending
+  Matrix eigenvectors;  ///< column i pairs with eigenvalues[i]
+};
+
+/// Eigendecompose a symmetric matrix with the cyclic Jacobi method.
+/// `a` must be square; only symmetry up to `sym_tol`·max|a| is required
+/// (the average of a_ij and a_ji is used).
+/// Throws ConvergenceError if off-diagonals fail to vanish in
+/// `max_sweeps` sweeps (practically unreachable for PSD inputs).
+EigSym eig_sym(const Matrix& a, int max_sweeps = 60, double sym_tol = 1e-8);
+
+}  // namespace essex::la

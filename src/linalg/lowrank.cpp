@@ -1,0 +1,106 @@
+#include "linalg/lowrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+
+namespace essex::la {
+
+IncrementalSvd::IncrementalSvd(std::size_t dim, std::size_t max_rank)
+    : dim_(dim), max_rank_(max_rank), u_(dim, 0) {
+  ESSEX_REQUIRE(dim > 0, "IncrementalSvd needs a positive dimension");
+  ESSEX_REQUIRE(max_rank > 0, "IncrementalSvd needs a positive max rank");
+}
+
+void IncrementalSvd::add_column(const Vector& c) {
+  ESSEX_REQUIRE(c.size() == dim_, "IncrementalSvd column length mismatch");
+  ++seen_;
+
+  const std::size_t r = s_.size();
+  if (r == 0) {
+    const double n = norm2(c);
+    if (n <= 0.0) return;  // a zero column adds nothing to the subspace
+    Vector q = c;
+    scale(q, 1.0 / n);
+    u_ = Matrix::from_columns({q});
+    s_ = {n};
+    return;
+  }
+
+  // Project the new column on the current basis; split into in-plane
+  // coefficients p and orthogonal residual rho*q.
+  Vector p = matvec_t(u_, c);
+  Vector resid = c;
+  for (std::size_t j = 0; j < r; ++j) axpy(-p[j], u_.col(j), resid);
+  // Re-orthogonalise the residual once (fights drift in long streams).
+  Vector p2 = matvec_t(u_, resid);
+  for (std::size_t j = 0; j < r; ++j) {
+    axpy(-p2[j], u_.col(j), resid);
+    p[j] += p2[j];
+  }
+  const double rho = norm2(resid);
+
+  const bool grow = rho > 1e-12 * std::max(s_.front(), 1.0) && r < max_rank_;
+  const std::size_t k = grow ? r + 1 : r;
+
+  // Small core matrix K = [diag(s) p; 0 rho] (k×k), SVD it and rotate.
+  Matrix kmat(k, k);
+  for (std::size_t j = 0; j < r; ++j) kmat(j, j) = s_[j];
+  for (std::size_t j = 0; j < r; ++j) kmat(j, std::min(k - 1, r)) = 0.0;
+  // Last column of K carries the new column's coordinates.
+  for (std::size_t j = 0; j < r && k > r; ++j) kmat(j, k - 1) = p[j];
+  if (grow) {
+    kmat(r, k - 1) = rho;
+  } else {
+    // Rank capped: fold the in-plane part into an extra K column that we
+    // append logically; equivalent to updating with the projected column.
+    // K becomes [diag(s) | p] (r × (r+1)); use its thin SVD and keep r.
+    Matrix kwide(r, r + 1);
+    for (std::size_t j = 0; j < r; ++j) kwide(j, j) = s_[j];
+    for (std::size_t j = 0; j < r; ++j) kwide(j, r) = p[j];
+    ThinSvd ks = svd_thin(kwide);
+    // Rotate U by the left factor; keep top r singular values.
+    u_ = matmul(u_, ks.u.first_cols(r));
+    s_.assign(ks.s.begin(), ks.s.begin() + static_cast<std::ptrdiff_t>(r));
+    return;
+  }
+
+  ThinSvd ks = svd_thin(kmat);
+
+  // Extended basis [U q] rotated by the left factor.
+  Vector q = resid;
+  scale(q, 1.0 / rho);
+  Matrix ext(dim_, k);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < r; ++j) ext(i, j) = u_(i, j);
+    ext(i, k - 1) = q[i];
+  }
+  const std::size_t keep = std::min(k, max_rank_);
+  u_ = matmul(ext, ks.u.first_cols(keep));
+  s_.assign(ks.s.begin(), ks.s.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+Matrix randomized_range(const Matrix& a, std::size_t k, Rng& rng,
+                        std::size_t oversample, std::size_t power_iters) {
+  ESSEX_REQUIRE(k > 0, "randomized_range needs k > 0");
+  const std::size_t n = a.cols();
+  const std::size_t l = std::min(n, k + oversample);
+
+  Matrix omega(n, l);
+  for (auto& x : omega.data()) x = rng.normal();
+
+  Matrix y = matmul(a, omega);  // m × l
+  orthonormalize_columns(y);
+  for (std::size_t it = 0; it < power_iters; ++it) {
+    Matrix z = matmul_at_b(a, y);  // n × l
+    orthonormalize_columns(z);
+    y = matmul(a, z);
+    orthonormalize_columns(y);
+  }
+  if (y.cols() > k) y = y.first_cols(k);
+  return y;
+}
+
+}  // namespace essex::la

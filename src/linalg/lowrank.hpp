@@ -1,0 +1,59 @@
+// ESSEX: low-rank tools for the continuously-running differ/SVD pipeline.
+//
+// The paper's parallel workflow (§4.1) re-runs a full SVD every time the
+// covariance file grows. IncrementalSvd is the ablation alternative: fold
+// anomaly columns into a rank-k factorisation as they land (Brand-style
+// update), so the "SVD step" costs O(m k) per member instead of a full
+// O(m n²) decomposition. The randomized range finder supports subspace
+// initialisation.
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace essex::la {
+
+/// Rank-limited streaming SVD of a growing column collection.
+///
+/// Maintains U (m×k), s (k) with k <= max_rank such that U diag(s) spans
+/// (approximately) the dominant left singular directions of all columns
+/// absorbed so far. V is not tracked — ESSE only needs the left modes and
+/// singular values.
+class IncrementalSvd {
+ public:
+  /// `dim` is the column length m, `max_rank` the truncation rank.
+  IncrementalSvd(std::size_t dim, std::size_t max_rank);
+
+  /// Absorb one column. O(m·k + k³).
+  void add_column(const Vector& c);
+
+  /// Number of columns absorbed so far.
+  std::size_t columns_seen() const { return seen_; }
+
+  /// Current rank (<= max_rank).
+  std::size_t rank() const { return s_.size(); }
+
+  /// Left singular vectors, m × rank().
+  const Matrix& u() const { return u_; }
+
+  /// Singular values, descending.
+  const Vector& s() const { return s_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t max_rank_;
+  std::size_t seen_ = 0;
+  Matrix u_;  // m × r
+  Vector s_;  // r
+};
+
+/// Randomized range finder (Halko–Martinsson–Tropp): returns an m×k
+/// orthonormal basis approximately spanning the dominant column space of
+/// `a`, using `oversample` extra Gaussian probes and `power_iters` power
+/// iterations.
+Matrix randomized_range(const Matrix& a, std::size_t k, Rng& rng,
+                        std::size_t oversample = 8,
+                        std::size_t power_iters = 1);
+
+}  // namespace essex::la

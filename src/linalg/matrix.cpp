@@ -1,0 +1,254 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essex::la {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    ESSEX_REQUIRE(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_columns(const std::vector<Vector>& cols) {
+  if (cols.empty()) return {};
+  const std::size_t m = cols.front().size();
+  Matrix out(m, cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    ESSEX_REQUIRE(cols[j].size() == m, "columns must share the same length");
+    for (std::size_t i = 0; i < m; ++i) out(i, j) = cols[j][i];
+  }
+  return out;
+}
+
+double& Matrix::operator()(std::size_t i, std::size_t j) {
+  ESSEX_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+  return data_[i * cols_ + j];
+}
+
+double Matrix::operator()(std::size_t i, std::size_t j) const {
+  ESSEX_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+  return data_[i * cols_ + j];
+}
+
+Vector Matrix::col(std::size_t j) const {
+  ESSEX_REQUIRE(j < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = data_[i * cols_ + j];
+  return v;
+}
+
+Vector Matrix::row(std::size_t i) const {
+  ESSEX_REQUIRE(i < rows_, "row index out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+}
+
+void Matrix::set_col(std::size_t j, const Vector& v) {
+  ESSEX_REQUIRE(j < cols_ && v.size() == rows_, "set_col shape mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + j] = v[i];
+}
+
+void Matrix::set_row(std::size_t i, const Vector& v) {
+  ESSEX_REQUIRE(i < rows_ && v.size() == cols_, "set_row shape mismatch");
+  std::copy(v.begin(), v.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(i * cols_));
+}
+
+Matrix Matrix::first_cols(std::size_t k) const {
+  ESSEX_REQUIRE(k <= cols_, "first_cols: k exceeds column count");
+  Matrix out(rows_, k);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < k; ++j) out(i, j) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  ESSEX_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "matrix addition shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  ESSEX_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "matrix subtraction shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+// ---- kernels -----------------------------------------------------------
+
+namespace {
+constexpr std::size_t kBlock = 64;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ESSEX_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  const double* A = a.data().data();
+  const double* B = b.data().data();
+  double* C = c.data().data();
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double aip = A[i * k + p];
+          if (aip == 0.0) continue;
+          const double* Brow = B + p * n;
+          double* Crow = C + i * n;
+          for (std::size_t j = 0; j < n; ++j) Crow[j] += aip * Brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  ESSEX_REQUIRE(a.rows() == b.rows(), "matmul_at_b row mismatch");
+  const std::size_t m = a.rows(), p = a.cols(), n = b.cols();
+  Matrix c(p, n);
+  const double* A = a.data().data();
+  const double* B = b.data().data();
+  double* C = c.data().data();
+  // Accumulate rank-1 contributions row by row of A/B: cache friendly for
+  // tall-skinny inputs.
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* Arow = A + r * p;
+    const double* Brow = B + r * n;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double ari = Arow[i];
+      if (ari == 0.0) continue;
+      double* Crow = C + i * n;
+      for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  ESSEX_REQUIRE(a.cols() == b.cols(), "matmul_a_bt column mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* Arow = a.data().data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* Brow = b.data().data() + j * k;
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += Arow[p] * Brow[p];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  ESSEX_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.data().data() + i * a.cols();
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, const Vector& x) {
+  ESSEX_REQUIRE(a.rows() == x.size(), "matvec_t shape mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.data().data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  ESSEX_REQUIRE(a.size() == b.size(), "dot length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  ESSEX_REQUIRE(x.size() == y.size(), "axpy length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& v, double s) {
+  for (auto& x : v) x *= s;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  ESSEX_REQUIRE(a.size() == b.size(), "add length mismatch");
+  Vector c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  ESSEX_REQUIRE(a.size() == b.size(), "sub length mismatch");
+  Vector c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+double max_abs(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace essex::la

@@ -1,0 +1,115 @@
+#include "linalg/parallel_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/eig_sym.hpp"
+
+namespace essex::la {
+
+namespace {
+
+/// Split [0, n) into at most `parts` contiguous ranges.
+std::vector<std::pair<std::size_t, std::size_t>> split_rows(
+    std::size_t n, std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min(parts, n));
+  const std::size_t base = n / chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < n % chunks ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix matmul_at_b_parallel(const Matrix& a, const Matrix& b,
+                            ThreadPool& pool) {
+  ESSEX_REQUIRE(a.rows() == b.rows(), "matmul_at_b row mismatch");
+  const std::size_t m = a.rows(), p = a.cols(), n = b.cols();
+  const auto ranges = split_rows(m, pool.thread_count());
+
+  // Each worker accumulates a private partial Gram; reduce at the end.
+  std::vector<Matrix> partials(ranges.size(), Matrix(p, n));
+  std::vector<std::future<void>> futs;
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    futs.push_back(pool.submit([&, r] {
+      const auto [lo, hi] = ranges[r];
+      Matrix& c = partials[r];
+      const double* A = a.data().data();
+      const double* B = b.data().data();
+      double* C = c.data().data();
+      for (std::size_t row = lo; row < hi; ++row) {
+        const double* Arow = A + row * p;
+        const double* Brow = B + row * n;
+        for (std::size_t i = 0; i < p; ++i) {
+          const double ari = Arow[i];
+          if (ari == 0.0) continue;
+          double* Crow = C + i * n;
+          for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  Matrix c(p, n);
+  for (const auto& part : partials) c += part;
+  return c;
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+  ESSEX_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  const auto ranges = split_rows(m, pool.thread_count());
+  std::vector<std::future<void>> futs;
+  for (const auto& [lo, hi] : ranges) {
+    futs.push_back(pool.submit([&, lo = lo, hi = hi] {
+      const double* A = a.data().data();
+      const double* B = b.data().data();
+      double* C = c.data().data();
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t q = 0; q < k; ++q) {
+          const double aiq = A[i * k + q];
+          if (aiq == 0.0) continue;
+          const double* Brow = B + q * n;
+          double* Crow = C + i * n;
+          for (std::size_t j = 0; j < n; ++j) Crow[j] += aiq * Brow[j];
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  return c;
+}
+
+ThinSvd svd_gram_parallel(const Matrix& a, ThreadPool& pool) {
+  ESSEX_REQUIRE(!a.empty(), "svd of an empty matrix");
+  ESSEX_REQUIRE(a.rows() >= a.cols(),
+                "svd_gram_parallel expects a tall matrix (states x members)");
+  const std::size_t m = a.rows(), n = a.cols();
+
+  const Matrix gram = matmul_at_b_parallel(a, a, pool);
+  EigSym eig = eig_sym(gram);
+
+  ThinSvd out;
+  out.s.resize(n);
+  out.v = eig.eigenvectors;
+  for (std::size_t j = 0; j < n; ++j)
+    out.s[j] = std::sqrt(std::max(eig.eigenvalues[j], 0.0));
+  Matrix av = matmul_parallel(a, out.v, pool);
+  out.u = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv = (out.s[j] > 1e-300) ? 1.0 / out.s[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = av(i, j) * inv;
+  }
+  return out;
+}
+
+}  // namespace essex::la

@@ -1,0 +1,31 @@
+// ESSEX: thread-parallel variants of the hot kernels.
+//
+// The paper runs "shared-memory parallel LAPACK calls" for the SVD on
+// the master node and anticipates SCALAPACK "if our ensembles get too
+// large". The tall-skinny Gram products AᵀA and A·V that dominate the
+// snapshot SVD partition trivially over row blocks; these variants
+// split them across a ThreadPool and are exact (not approximate)
+// replacements validated against the serial kernels in tests.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace essex::la {
+
+/// C = Aᵀ B computed over `pool`, partitioning the shared row dimension.
+/// Bitwise equality with matmul_at_b is NOT guaranteed (summation order
+/// differs); agreement is to rounding.
+Matrix matmul_at_b_parallel(const Matrix& a, const Matrix& b,
+                            ThreadPool& pool);
+
+/// C = A B computed over `pool`, partitioning A's rows. Same contract.
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
+
+/// Thin SVD via the Gram method with both heavy products parallelised:
+/// AᵀA over the pool, the small eigendecomposition serial, U = A·V over
+/// the pool. Semantics match svd_thin(a, SvdMethod::kGram).
+ThinSvd svd_gram_parallel(const Matrix& a, ThreadPool& pool);
+
+}  // namespace essex::la

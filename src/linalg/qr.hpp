@@ -1,0 +1,28 @@
+// ESSEX: Householder QR factorisation.
+//
+// Used by the randomized range finder and to re-orthonormalise error
+// subspace bases after incremental updates.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace essex::la {
+
+/// Thin QR of an m×n matrix with m >= n: A = Q R where Q is m×n with
+/// orthonormal columns and R is n×n upper triangular.
+struct ThinQr {
+  Matrix q;  ///< m×n, orthonormal columns
+  Matrix r;  ///< n×n, upper triangular
+};
+
+/// Compute the thin QR via Householder reflections.
+/// Requires a.rows() >= a.cols().
+ThinQr qr_thin(const Matrix& a);
+
+/// Orthonormalise the columns of `a` in place using modified Gram–Schmidt
+/// with one re-orthogonalisation pass. Columns that become numerically
+/// zero (norm below `drop_tol` × the largest original column norm) are
+/// removed; returns the number of columns kept.
+std::size_t orthonormalize_columns(Matrix& a, double drop_tol = 1e-12);
+
+}  // namespace essex::la

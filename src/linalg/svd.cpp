@@ -1,0 +1,145 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/eig_sym.hpp"
+
+namespace essex::la {
+
+Matrix ThinSvd::reconstruct() const {
+  Matrix us = u;
+  for (std::size_t i = 0; i < us.rows(); ++i)
+    for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= s[j];
+  return matmul_a_bt(us, v);
+}
+
+std::size_t ThinSvd::rank(double rel_tol) const {
+  if (s.empty()) return 0;
+  const double cut = s.front() * rel_tol;
+  std::size_t r = 0;
+  while (r < s.size() && s[r] > cut) ++r;
+  return r;
+}
+
+namespace {
+
+// One-sided Jacobi on an m×n matrix with m >= n: rotate column pairs of
+// `a` until all pairs are orthogonal; accumulate rotations into V.
+ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ESSEX_ASSERT(m >= n, "jacobi_svd_tall requires m >= n");
+  Matrix v = Matrix::identity(n);
+
+  const double eps = 1e-15;
+  bool converged = (n <= 1);
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0, beta = 0, gamma = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double aip = a(i, p), aiq = a(i, q);
+          alpha += aip * aip;
+          beta += aiq * aiq;
+          gamma += aip * aiq;
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    throw ConvergenceError("one-sided Jacobi SVD failed to converge");
+  }
+
+  // Column norms of the rotated A are the singular values.
+  Vector sv(n);
+  for (std::size_t j = 0; j < n; ++j) sv[j] = norm2(a.col(j));
+
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sv[i] > sv[j]; });
+
+  ThinSvd out;
+  out.s.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t o = order[j];
+    out.s[j] = sv[o];
+    const double inv = (sv[o] > 0) ? 1.0 / sv[o] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = a(i, o) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, o);
+  }
+  return out;
+}
+
+// Method of snapshots: eig of AᵀA.
+ThinSvd gram_svd_tall(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ESSEX_ASSERT(m >= n, "gram_svd_tall requires m >= n");
+  const Matrix gram = matmul_at_b(a, a);
+  EigSym eig = eig_sym(gram);
+
+  ThinSvd out;
+  out.s.resize(n);
+  out.v = eig.eigenvectors;
+  out.u = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lam = std::max(eig.eigenvalues[j], 0.0);
+    out.s[j] = std::sqrt(lam);
+  }
+  // U = A V Σ⁻¹, with zero columns for null singular values.
+  const Matrix av = matmul(a, out.v);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv = (out.s[j] > 1e-300) ? 1.0 / out.s[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = av(i, j) * inv;
+  }
+  return out;
+}
+
+ThinSvd svd_tall(const Matrix& a, SvdMethod method) {
+  switch (method) {
+    case SvdMethod::kOneSidedJacobi:
+      return jacobi_svd_tall(a);
+    case SvdMethod::kGram:
+      return gram_svd_tall(a);
+  }
+  throw InvariantError("unknown SVD method");
+}
+
+}  // namespace
+
+ThinSvd svd_thin(const Matrix& a, SvdMethod method) {
+  ESSEX_REQUIRE(!a.empty(), "svd_thin requires a non-empty matrix");
+  if (a.rows() >= a.cols()) return svd_tall(a, method);
+  // A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ.
+  ThinSvd t = svd_tall(a.transposed(), method);
+  ThinSvd out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.s = std::move(t.s);
+  return out;
+}
+
+}  // namespace essex::la

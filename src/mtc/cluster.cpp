@@ -1,0 +1,53 @@
+#include "mtc/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace essex::mtc {
+
+std::size_t ClusterSpec::total_cores() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes) n += node.cores;
+  return n;
+}
+
+std::size_t ClusterSpec::available_cores() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes)
+    if (!node.reserved_by_others) n += node.cores;
+  return n;
+}
+
+ClusterSpec make_home_cluster(std::size_t busy_nodes) {
+  ESSEX_REQUIRE(busy_nodes <= 114, "cannot reserve more than 114 nodes");
+  ClusterSpec spec;
+  spec.name = "home-cluster";
+  spec.nfs_capacity_bps = 1250e6;  // 10 Gb/s
+  spec.node_link_bps = 125e6;      // 1 Gb/s
+
+  // 114 dual-socket single-core Opteron 250 (2.4 GHz) nodes.
+  for (std::size_t i = 0; i < 114; ++i) {
+    NodeSpec n;
+    n.name = "opt250-" + std::to_string(i);
+    n.cores = 2;
+    n.cpu_speed = 1.0;
+    n.reserved_by_others = i < busy_nodes;
+    spec.nodes.push_back(n);
+  }
+  // 3 dual-socket dual-core Opteron 285 (2.6 GHz) replacement nodes.
+  for (std::size_t i = 0; i < 3; ++i) {
+    NodeSpec n;
+    n.name = "opt285-" + std::to_string(i);
+    n.cores = 4;
+    n.cpu_speed = 2.6 / 2.4;
+    spec.nodes.push_back(n);
+  }
+  // Shanghai-generation head node (runs the master script, differ, SVD).
+  NodeSpec head;
+  head.name = "head-opt2380";
+  head.cores = 8;
+  head.cpu_speed = 2.5 / 2.4 * 1.35;  // newer core, higher IPC
+  spec.nodes.push_back(head);
+  return spec;
+}
+
+}  // namespace essex::mtc

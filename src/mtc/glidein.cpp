@@ -1,0 +1,187 @@
+#include "mtc/glidein.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mtc/sim.hpp"
+
+namespace essex::mtc {
+
+namespace {
+
+struct Pilot {
+  std::size_t site = 0;
+  SimTime active_at = 0;
+  SimTime expires_at = 0;
+  std::size_t busy = 0;
+  std::size_t slots = 0;
+  double busy_integral = 0;  // slot-seconds actually used
+  SimTime last_t = 0;
+};
+
+struct Overlay {
+  Simulator sim;
+  GlideinConfig cfg;
+  std::vector<Pilot> pilots;
+  std::vector<double> member_seconds_per_site;
+  std::size_t pending = 0;
+  std::size_t done = 0;
+  double makespan = 0;
+  double first_slot = -1;
+  std::size_t lease_rejections = 0;
+  bool deadline_hit = false;
+
+  void integrate(Pilot& p) {
+    const SimTime t = sim.now();
+    const SimTime capped = std::min(t, p.expires_at);
+    if (capped > p.last_t && t >= p.active_at) {
+      p.busy_integral += static_cast<double>(p.busy) * (capped - p.last_t);
+    }
+    p.last_t = std::max(p.last_t, capped);
+  }
+
+  void match() {
+    if (deadline_hit) return;
+    for (std::size_t k = 0; k < pilots.size() && pending > 0; ++k) {
+      Pilot& p = pilots[k];
+      const SimTime now = sim.now();
+      if (now < p.active_at || now >= p.expires_at) continue;
+      const double job = member_seconds_per_site[p.site];
+      while (p.busy < p.slots && pending > 0) {
+        // Condor-style lease check: does the job fit the remaining
+        // walltime of this pilot?
+        if (now + job > p.expires_at) {
+          ++lease_rejections;
+          break;
+        }
+        integrate(p);
+        --pending;
+        ++p.busy;
+        sim.after(job, [this, k] {
+          Pilot& pp = pilots[k];
+          integrate(pp);
+          --pp.busy;
+          if (!deadline_hit) {
+            ++done;
+            makespan = sim.now();
+          }
+          match();
+        });
+      }
+    }
+  }
+};
+
+GlideinResult summarize(const Overlay& ov) {
+  GlideinResult out;
+  out.members_done = ov.done;
+  out.makespan_s = ov.makespan;
+  out.time_to_first_slot_s = std::max(ov.first_slot, 0.0);
+  out.lease_rejections = ov.lease_rejections;
+  for (const auto& p : ov.pilots) {
+    const double leased =
+        static_cast<double>(p.slots) * (p.expires_at - p.active_at);
+    out.slot_seconds_total += leased;
+    out.slot_seconds_idle += leased - p.busy_integral;
+  }
+  return out;
+}
+
+}  // namespace
+
+GlideinResult run_glidein_ensemble(const GlideinConfig& config) {
+  ESSEX_REQUIRE(config.members >= 1, "need at least one member");
+  ESSEX_REQUIRE(!config.sites.empty(), "need at least one glide-in site");
+
+  auto ov = std::make_shared<Overlay>();
+  ov->cfg = config;
+  ov->pending = config.members;
+  Rng rng(config.seed);
+
+  for (std::size_t s = 0; s < config.sites.size(); ++s) {
+    const GlideinSite& gs = config.sites[s];
+    ESSEX_REQUIRE(gs.pilots >= 1 && gs.slots_per_pilot >= 1,
+                  "site needs pilots and slots");
+    ov->member_seconds_per_site.push_back(
+        gs.site.pert_seconds(config.shape) +
+        gs.site.pemodel_seconds(config.shape));
+    for (std::size_t p = 0; p < gs.pilots; ++p) {
+      Pilot pilot;
+      pilot.site = s;
+      pilot.active_at = gs.site.sample_queue_wait(rng);
+      pilot.expires_at = pilot.active_at + gs.pilot_walltime_s;
+      pilot.slots = gs.slots_per_pilot;
+      pilot.last_t = pilot.active_at;
+      const std::size_t idx = ov->pilots.size();
+      ov->pilots.push_back(pilot);
+      ov->sim.at(pilot.active_at, [ov, idx] {
+        if (ov->first_slot < 0) ov->first_slot = ov->sim.now();
+        ov->match();
+        (void)idx;
+      });
+    }
+  }
+  if (config.deadline_s > 0) {
+    ov->sim.at(config.deadline_s, [ov] { ov->deadline_hit = true; });
+  }
+  ov->sim.run();
+  return summarize(*ov);
+}
+
+GlideinResult run_direct_submission(const GlideinConfig& config) {
+  ESSEX_REQUIRE(config.members >= 1, "need at least one member");
+  ESSEX_REQUIRE(!config.sites.empty(), "need at least one site");
+
+  Simulator sim;
+  Rng rng(config.seed);
+  std::size_t done = 0;
+  double makespan = 0;
+  double first_start = -1;
+  bool deadline_hit = false;
+  if (config.deadline_s > 0) {
+    sim.at(config.deadline_s, [&] { deadline_hit = true; });
+  }
+
+  // Round-robin members over sites; each member queues independently and
+  // the site's active-job throttle serialises the excess.
+  for (std::size_t s = 0; s < config.sites.size(); ++s) {
+    const GridSite& site = config.sites[s].site;
+    const double job = site.pert_seconds(config.shape) +
+                       site.pemodel_seconds(config.shape);
+    std::size_t assigned = 0;
+    for (std::size_t m = s; m < config.members;
+         m += config.sites.size()) {
+      ++assigned;
+    }
+    // Active-job throttle: batches of max_active_jobs, each member with
+    // its own queue wait (fresh submission each time).
+    const std::size_t lanes =
+        std::max<std::size_t>(1, std::min<std::size_t>(
+                                     site.max_active_jobs, assigned));
+    std::vector<double> lane_free(lanes, 0.0);
+    for (std::size_t j = 0; j < assigned; ++j) {
+      const std::size_t lane = j % lanes;
+      const double wait = site.sample_queue_wait(rng);
+      const double start = std::max(lane_free[lane], 0.0) + wait;
+      const double end = start + job;
+      lane_free[lane] = end;
+      if (first_start < 0 || start < first_start) first_start = start;
+      sim.at(end, [&, end] {
+        if (deadline_hit) return;
+        ++done;
+        makespan = sim.now();
+      });
+    }
+  }
+  sim.run();
+
+  GlideinResult out;
+  out.members_done = done;
+  out.makespan_s = makespan;
+  out.time_to_first_slot_s = std::max(first_start, 0.0);
+  return out;
+}
+
+}  // namespace essex::mtc

@@ -1,0 +1,63 @@
+// ESSEX: pilot-job overlays (paper §5.3.1).
+//
+// "One other possibility ... is the use of Personal Condor ... connecting
+// via Condor-Glidein to both the local Condor pool and the remote
+// clusters. A related effort ... is the use of the MyCluster software
+// that makes a collection of remote and local resources appear as one
+// large Condor or SGE controlled cluster."
+//
+// The mechanism: *pilot* jobs are submitted to each remote batch queue;
+// each pilot waits out the queue once and then contributes slots to the
+// user's personal overlay for its walltime lease. Ensemble members then
+// stream through the overlay without ever touching a remote queue —
+// versus direct remote submission, where every member pays its own queue
+// wait. run_glidein_ensemble()/run_direct_submission() quantify that
+// trade plus the glide-in-specific losses (idle pilot tails, leases too
+// short to fit another member).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mtc/grid_site.hpp"
+#include "mtc/job.hpp"
+
+namespace essex::mtc {
+
+/// Pilots requested at one remote site.
+struct GlideinSite {
+  GridSite site;
+  std::size_t pilots = 8;
+  std::size_t slots_per_pilot = 2;
+  double pilot_walltime_s = 4.0 * 3600.0;  ///< batch lease length
+};
+
+struct GlideinConfig {
+  EsseJobShape shape;
+  std::size_t members = 200;
+  std::vector<GlideinSite> sites;
+  /// Forecast deadline (0 = none): members not done by then are ignored
+  /// (§4 point 3).
+  double deadline_s = 0.0;
+  std::uint64_t seed = 11;
+};
+
+struct GlideinResult {
+  std::size_t members_done = 0;
+  double makespan_s = 0;           ///< last member completion (or deadline)
+  double time_to_first_slot_s = 0; ///< overlay becomes usable
+  double slot_seconds_idle = 0;    ///< leased but unused pilot capacity
+  double slot_seconds_total = 0;   ///< all leased capacity
+  std::size_t lease_rejections = 0;  ///< member didn't fit a pilot's
+                                     ///< remaining walltime
+};
+
+/// Run the ensemble through a glide-in overlay.
+GlideinResult run_glidein_ensemble(const GlideinConfig& config);
+
+/// Baseline: direct remote submission — every member pays its own queue
+/// wait at its assigned site (members split round-robin across sites,
+/// respecting each site's max_active_jobs).
+GlideinResult run_direct_submission(const GlideinConfig& config);
+
+}  // namespace essex::mtc

@@ -1,0 +1,50 @@
+#include "mtc/grid_site.hpp"
+
+namespace essex::mtc {
+
+// Calibration notes (base shape: pert_cpu 1.21 s, pert_fs 5.0 s,
+// pemodel_cpu 1531.33 s on a speed-1.0 core):
+//   cpu_speed = 1531.33 / pemodel_measured
+//   fs_factor = (pert_measured − pert_cpu/cpu_speed) / pert_fs
+
+GridSite ornl_site() {
+  GridSite s;
+  s.name = "ORNL";
+  s.processor = "Pentium4 3.06GHz";
+  s.cpu_speed = 1531.33 / 1823.99;  // 0.8396
+  s.fs_factor = (67.83 - 1.21 / s.cpu_speed) / 5.0;  // ≈13.3 (PVFS2)
+  s.max_active_jobs = 128;
+  s.queue_wait_mean_s = 1800.0;
+  s.gateway_bps = 100e6;
+  return s;
+}
+
+GridSite purdue_site() {
+  GridSite s;
+  s.name = "Purdue";
+  s.processor = "Core2 2.33GHz";
+  s.cpu_speed = 1531.33 / 1107.40;  // 1.383
+  s.fs_factor = (6.25 - 1.21 / s.cpu_speed) / 5.0;  // ≈1.08
+  s.max_active_jobs = 200;
+  s.queue_wait_mean_s = 900.0;
+  s.gateway_bps = 100e6;
+  return s;
+}
+
+GridSite local_as_site() {
+  GridSite s;
+  s.name = "local";
+  s.processor = "Opteron 250 2.4GHz";
+  s.cpu_speed = 1.0;
+  s.fs_factor = 1.0;
+  s.max_active_jobs = 210;
+  s.queue_wait_mean_s = 0.0;
+  s.gateway_bps = 1250e6;
+  return s;
+}
+
+std::vector<GridSite> table1_sites() {
+  return {ornl_site(), purdue_site(), local_as_site()};
+}
+
+}  // namespace essex::mtc

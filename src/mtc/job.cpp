@@ -1,0 +1,34 @@
+#include "mtc/job.hpp"
+
+namespace essex::mtc {
+
+std::string to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string to_string(InputStaging s) {
+  switch (s) {
+    case InputStaging::kNfsDirect: return "nfs-direct";
+    case InputStaging::kPrestageLocal: return "prestage-local";
+    case InputStaging::kOpenDapRemote: return "opendap-remote";
+  }
+  return "?";
+}
+
+std::string to_string(OutputTransfer s) {
+  switch (s) {
+    case OutputTransfer::kPushImmediate: return "push-immediate";
+    case OutputTransfer::kPullPaced: return "pull-paced";
+    case OutputTransfer::kTwoStagePut: return "two-stage-put";
+  }
+  return "?";
+}
+
+}  // namespace essex::mtc

@@ -1,0 +1,139 @@
+#include "mtc/sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace essex::mtc {
+
+std::uint64_t Simulator::at(SimTime t, Callback fn) {
+  ESSEX_REQUIRE(t >= now_ - 1e-9, "cannot schedule an event in the past");
+  ESSEX_REQUIRE(fn != nullptr, "cannot schedule an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  cancelled_.push_back(false);
+  events_.push(Event{std::max(t, now_), seq, std::move(fn)});
+  return seq;
+}
+
+std::uint64_t Simulator::after(SimTime delay, Callback fn) {
+  ESSEX_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  return at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(std::uint64_t id) {
+  if (id < cancelled_.size()) cancelled_[id] = true;
+}
+
+bool Simulator::step() {
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    if (cancelled_[ev.seq]) continue;
+    now_ = ev.t;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(SimTime t_end) {
+  std::size_t fired = 0;
+  while (!events_.empty()) {
+    // Peek past cancelled events without firing them.
+    const Event& top = events_.top();
+    if (cancelled_[top.seq]) {
+      events_.pop();
+      continue;
+    }
+    if (top.t > t_end) break;
+    step();
+    ++fired;
+  }
+  now_ = std::max(now_, t_end);
+  return fired;
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+BandwidthResource::BandwidthResource(Simulator& sim,
+                                     double capacity_bytes_per_s,
+                                     std::string name)
+    : sim_(sim), capacity_(capacity_bytes_per_s), name_(std::move(name)) {
+  ESSEX_REQUIRE(capacity_ > 0, "bandwidth capacity must be positive");
+}
+
+void BandwidthResource::advance_progress() {
+  const SimTime t = sim_.now();
+  const double dt = t - last_update_;
+  if (dt > 0 && !flows_.empty()) {
+    const double per_flow =
+        capacity_ * dt / static_cast<double>(flows_.size());
+    for (auto& [id, flow] : flows_) {
+      const double moved = std::min(per_flow, flow.remaining);
+      flow.remaining -= moved;
+      bytes_done_ += moved;
+    }
+    busy_seconds_ += dt;
+  }
+  last_update_ = t;
+}
+
+void BandwidthResource::reschedule() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (flows_.empty()) return;
+  // Next completion: smallest remaining under equal shares.
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_)
+    min_remaining = std::min(min_remaining, flow.remaining);
+  const double share = capacity_ / static_cast<double>(flows_.size());
+  const double dt = std::max(min_remaining / share, 0.0);
+  pending_event_ = sim_.after(dt, [this] {
+    has_pending_event_ = false;
+    advance_progress();
+    // Collect every flow that finished, firing callbacks only after
+    // mutating state so re-entrant start_transfer calls are safe. The
+    // completion threshold is *relative to capacity* (one nanosecond of
+    // full-rate transfer): float residue after an "exact" completion can
+    // exceed any absolute byte threshold, and the matching reschedule dt
+    // can underflow the double ulp of the current sim time, freezing the
+    // clock.
+    const double eps = capacity_ * 1e-9;
+    std::vector<Simulator::Callback> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.remaining <= eps) {
+        done.push_back(std::move(it->second.on_done));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reschedule();
+    for (auto& cb : done) cb();
+  });
+  has_pending_event_ = true;
+}
+
+std::uint64_t BandwidthResource::start_transfer(double bytes,
+                                                Simulator::Callback on_done) {
+  ESSEX_REQUIRE(bytes >= 0, "transfer size must be non-negative");
+  ESSEX_REQUIRE(on_done != nullptr, "transfer needs a completion callback");
+  advance_progress();
+  const std::uint64_t id = next_id_++;
+  flows_.emplace(id, Flow{std::max(bytes, 1e-9), std::move(on_done)});
+  reschedule();
+  return id;
+}
+
+double BandwidthResource::bytes_moved() const { return bytes_done_; }
+
+double BandwidthResource::busy_seconds() const { return busy_seconds_; }
+
+}  // namespace essex::mtc

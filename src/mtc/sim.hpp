@@ -1,0 +1,120 @@
+// ESSEX: discrete-event simulation engine.
+//
+// The paper's evaluation (§5) is about throughput, contention and
+// scheduling phenomena on a 240-core cluster, TeraGrid sites and EC2.
+// Those machines are gone; a deterministic DES calibrated with the
+// paper's own per-task timings reproduces the *shape* of its results.
+// The engine is a plain time-ordered event queue; shared I/O (the NFS
+// server, gateway links) is modelled by BandwidthResource, an exact
+// processor-sharing queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace essex::mtc {
+
+/// Simulated seconds since the simulation epoch.
+using SimTime = double;
+
+/// Deterministic discrete-event scheduler.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Events at equal times
+  /// fire in scheduling order. Returns an id usable with cancel().
+  std::uint64_t at(SimTime t, Callback fn);
+
+  /// Schedule after a delay (>= 0).
+  std::uint64_t after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event; cancelling an already-fired event is a no-op.
+  void cancel(std::uint64_t id);
+
+  /// Fire the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `t_end` passes (events after t_end
+  /// stay queued). Returns the number of events fired.
+  std::size_t run_until(SimTime t_end);
+
+  /// Run until the queue drains entirely.
+  std::size_t run();
+
+  /// Number of pending events.
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<bool> cancelled_;  // indexed by seq
+};
+
+/// A shared link/server with fair (processor-sharing) bandwidth: k active
+/// transfers each progress at capacity/k. Transfer completions are exact
+/// — the resource recomputes the schedule whenever the flow set changes.
+class BandwidthResource {
+ public:
+  /// `sim` must outlive the resource. `capacity` is in bytes/second.
+  BandwidthResource(Simulator& sim, double capacity_bytes_per_s,
+                    std::string name = {});
+
+  /// Begin a transfer of `bytes`; `on_done` fires at its exact completion
+  /// time under processor sharing. Zero-byte transfers complete
+  /// immediately (next event). Returns a transfer id.
+  std::uint64_t start_transfer(double bytes, Simulator::Callback on_done);
+
+  /// Number of in-flight transfers.
+  std::size_t active() const { return flows_.size(); }
+
+  /// Total bytes moved through the resource so far (including partial
+  /// progress of active flows).
+  double bytes_moved() const;
+
+  /// Busy time integral: seconds during which at least one flow was
+  /// active (utilisation metric).
+  double busy_seconds() const;
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  struct Flow {
+    double remaining;
+    Simulator::Callback on_done;
+  };
+
+  void advance_progress();
+  void reschedule();
+
+  Simulator& sim_;
+  double capacity_;
+  std::string name_;
+  std::map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  std::uint64_t pending_event_ = 0;
+  bool has_pending_event_ = false;
+  double bytes_done_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace essex::mtc

@@ -1,0 +1,141 @@
+#include "obs/instruments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essex::obs {
+
+namespace {
+
+bool water_at(const ocean::Grid3D& grid, double x_km, double y_km) {
+  const auto ix = static_cast<std::size_t>(std::clamp(
+      std::lround(x_km / grid.dx_km()), 0L,
+      static_cast<long>(grid.nx() - 1)));
+  const auto iy = static_cast<std::size_t>(std::clamp(
+      std::lround(y_km / grid.dy_km()), 0L,
+      static_cast<long>(grid.ny() - 1)));
+  return grid.is_water(ix, iy);
+}
+
+/// Fill `set` values by sampling `truth` through the measurement operator
+/// and perturbing with each observation's own noise level.
+void sample_truth(const ocean::Grid3D& grid, const ocean::OceanState& truth,
+                  ObservationSet& set, Rng& rng) {
+  if (set.empty()) return;
+  ObsOperator h(grid, set);
+  const la::Vector clean = h.apply(truth);
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    set[k].value = clean[k] + rng.normal(0.0, set[k].noise_std);
+  }
+}
+
+}  // namespace
+
+ObservationSet ctd_cast(const ocean::Grid3D& grid,
+                        const ocean::OceanState& truth, double x_km,
+                        double y_km, double t_noise, double s_noise,
+                        Rng& rng) {
+  ObservationSet set;
+  if (!water_at(grid, x_km, y_km)) return set;
+  for (double depth : grid.depths()) {
+    set.push_back({VarKind::kTemperature, x_km, y_km, depth, 0.0, t_noise});
+    set.push_back({VarKind::kSalinity, x_km, y_km, depth, 0.0, s_noise});
+  }
+  sample_truth(grid, truth, set, rng);
+  return set;
+}
+
+ObservationSet glider_transect(const ocean::Grid3D& grid,
+                               const ocean::OceanState& truth, double x0_km,
+                               double y0_km, double x1_km, double y1_km,
+                               double max_depth_m, std::size_t n_samples,
+                               double t_noise, Rng& rng) {
+  ESSEX_REQUIRE(n_samples >= 2, "glider transect needs >= 2 samples");
+  ObservationSet set;
+  for (std::size_t k = 0; k < n_samples; ++k) {
+    const double s = static_cast<double>(k) /
+                     static_cast<double>(n_samples - 1);
+    const double x = x0_km + s * (x1_km - x0_km);
+    const double y = y0_km + s * (y1_km - y0_km);
+    if (!water_at(grid, x, y)) continue;
+    // Sawtooth depth: 4 full dives along the line.
+    const double saw = std::fabs(std::fmod(s * 8.0, 2.0) - 1.0);
+    const double depth = max_depth_m * (1.0 - saw);
+    set.push_back({VarKind::kTemperature, x, y, depth, 0.0, t_noise});
+  }
+  sample_truth(grid, truth, set, rng);
+  return set;
+}
+
+ObservationSet auv_survey(const ocean::Grid3D& grid,
+                          const ocean::OceanState& truth, double cx_km,
+                          double cy_km, double depth_m, double extent_km,
+                          std::size_t legs, std::size_t per_leg,
+                          double t_noise, Rng& rng) {
+  ESSEX_REQUIRE(legs >= 1 && per_leg >= 2, "auv survey shape invalid");
+  ObservationSet set;
+  for (std::size_t leg = 0; leg < legs; ++leg) {
+    const double y = cy_km - 0.5 * extent_km +
+                     extent_km * static_cast<double>(leg) /
+                         static_cast<double>(std::max<std::size_t>(legs - 1, 1));
+    for (std::size_t k = 0; k < per_leg; ++k) {
+      double s = static_cast<double>(k) / static_cast<double>(per_leg - 1);
+      if (leg % 2 == 1) s = 1.0 - s;  // lawnmower turn
+      const double x = cx_km - 0.5 * extent_km + extent_km * s;
+      if (!water_at(grid, x, y)) continue;
+      set.push_back({VarKind::kTemperature, x, y, depth_m, 0.0, t_noise});
+    }
+  }
+  sample_truth(grid, truth, set, rng);
+  return set;
+}
+
+ObservationSet sst_swath(const ocean::Grid3D& grid,
+                         const ocean::OceanState& truth, std::size_t stride,
+                         double cloud_fraction, double t_noise, Rng& rng) {
+  ESSEX_REQUIRE(stride >= 1, "sst swath stride must be >= 1");
+  ESSEX_REQUIRE(cloud_fraction >= 0.0 && cloud_fraction < 1.0,
+                "cloud fraction must lie in [0,1)");
+  ObservationSet set;
+  for (std::size_t iy = 0; iy < grid.ny(); iy += stride) {
+    for (std::size_t ix = 0; ix < grid.nx(); ix += stride) {
+      if (!grid.is_water(ix, iy)) continue;
+      if (rng.uniform() < cloud_fraction) continue;  // cloud gap
+      set.push_back({VarKind::kTemperature,
+                     static_cast<double>(ix) * grid.dx_km(),
+                     static_cast<double>(iy) * grid.dy_km(), 0.0, 0.0,
+                     t_noise});
+    }
+  }
+  sample_truth(grid, truth, set, rng);
+  return set;
+}
+
+ObservationSet aosn_campaign(const ocean::Grid3D& grid,
+                             const ocean::OceanState& truth, Rng& rng) {
+  const double lx = grid.dx_km() * static_cast<double>(grid.nx() - 1);
+  const double ly = grid.dy_km() * static_cast<double>(grid.ny() - 1);
+  ObservationSet all;
+  auto append = [&all](ObservationSet part) {
+    all.insert(all.end(), part.begin(), part.end());
+  };
+  // Three CTD stations across the front.
+  append(ctd_cast(grid, truth, 0.30 * lx, 0.50 * ly, 0.05, 0.02, rng));
+  append(ctd_cast(grid, truth, 0.55 * lx, 0.55 * ly, 0.05, 0.02, rng));
+  append(ctd_cast(grid, truth, 0.65 * lx, 0.35 * ly, 0.05, 0.02, rng));
+  // Two glider lines: cross-shore and along-shore.
+  append(glider_transect(grid, truth, 0.15 * lx, 0.45 * ly, 0.75 * lx,
+                         0.55 * ly, 150.0, 24, 0.08, rng));
+  append(glider_transect(grid, truth, 0.40 * lx, 0.15 * ly, 0.50 * lx,
+                         0.85 * ly, 150.0, 24, 0.08, rng));
+  // One AUV box in the bay mouth.
+  append(auv_survey(grid, truth, 0.70 * lx, 0.55 * ly, 30.0, 0.15 * lx, 4, 8,
+                    0.05, rng));
+  // Satellite SST with 30% cloud.
+  append(sst_swath(grid, truth, 3, 0.30, 0.4, rng));
+  return all;
+}
+
+}  // namespace essex::obs

@@ -1,0 +1,54 @@
+// ESSEX: synthetic observation campaigns.
+//
+// Stand-ins for the AOSN-II platforms (paper §6: "CTD, AUVs, gliders and
+// SST data"): each generator samples a truth state at realistic platform
+// geometries and adds Gaussian noise, producing the identical-twin data
+// that the assimilation experiments use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/observation.hpp"
+#include "ocean/grid.hpp"
+#include "ocean/state.hpp"
+
+namespace essex::obs {
+
+/// A CTD cast: temperature and salinity at every grid z-level beneath a
+/// station (x, y).
+ObservationSet ctd_cast(const ocean::Grid3D& grid,
+                        const ocean::OceanState& truth, double x_km,
+                        double y_km, double t_noise, double s_noise,
+                        Rng& rng);
+
+/// A glider transect: sawtooth dives between the surface and `max_depth_m`
+/// along a straight line from (x0,y0) to (x1,y1), sampling temperature at
+/// `n_samples` points.
+ObservationSet glider_transect(const ocean::Grid3D& grid,
+                               const ocean::OceanState& truth, double x0_km,
+                               double y0_km, double x1_km, double y1_km,
+                               double max_depth_m, std::size_t n_samples,
+                               double t_noise, Rng& rng);
+
+/// An AUV survey: temperature at a fixed depth over a small lawnmower
+/// pattern centred on (cx, cy).
+ObservationSet auv_survey(const ocean::Grid3D& grid,
+                          const ocean::OceanState& truth, double cx_km,
+                          double cy_km, double depth_m, double extent_km,
+                          std::size_t legs, std::size_t per_leg,
+                          double t_noise, Rng& rng);
+
+/// A satellite SST swath: surface temperature on every `stride`-th water
+/// point (cloud gaps removed at random with probability `cloud_fraction`).
+ObservationSet sst_swath(const ocean::Grid3D& grid,
+                         const ocean::OceanState& truth, std::size_t stride,
+                         double cloud_fraction, double t_noise, Rng& rng);
+
+/// The AOSN-II-like composite campaign used in examples and benches: a
+/// few CTD stations, two glider lines, one AUV box and an SST swath.
+ObservationSet aosn_campaign(const ocean::Grid3D& grid,
+                             const ocean::OceanState& truth, Rng& rng);
+
+}  // namespace essex::obs

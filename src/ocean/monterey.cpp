@@ -1,0 +1,161 @@
+#include "ocean/monterey.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace essex::ocean {
+
+namespace {
+
+/// Vertical temperature profile: warm mixed layer over a thermocline.
+double t_profile(double surface_t, double depth_m) {
+  const double deep_t = 6.0;
+  const double thermocline = 40.0;  // m
+  const double sharp = 30.0;
+  const double frac =
+      1.0 / (1.0 + std::exp((depth_m - thermocline) / sharp));
+  return deep_t + (surface_t - deep_t) * frac;
+}
+
+double s_profile(double surface_s, double depth_m) {
+  const double deep_s = 34.2;
+  return deep_s + (surface_s - deep_s) * std::exp(-depth_m / 80.0);
+}
+
+}  // namespace
+
+Scenario make_monterey_scenario(std::size_t nx, std::size_t ny,
+                                std::size_t nz) {
+  ESSEX_REQUIRE(nx >= 12 && ny >= 12 && nz >= 3,
+                "Monterey scenario needs at least a 12x12x3 grid");
+  const double extent_km = 120.0;
+  const double dx = extent_km / static_cast<double>(nx - 1);
+  const double dy = extent_km / static_cast<double>(ny - 1);
+  // Geometrically stretched z-levels from the surface to 400 m with the
+  // first subsurface level at ~10 m (so a ~30 m level exists for the
+  // Fig. 6 product at any nz >= 4). Solve (r^(nz-1)-1)/(r-1) = 40 for
+  // the stretching ratio by bisection.
+  double lo = 1.0001, hi = 16.0;
+  for (int it = 0; it < 60; ++it) {
+    const double r = 0.5 * (lo + hi);
+    const double sum = (std::pow(r, static_cast<double>(nz - 1)) - 1.0) /
+                       (r - 1.0);
+    (sum > 40.0 ? hi : lo) = r;
+  }
+  const double ratio = 0.5 * (lo + hi);
+  std::vector<double> depths;
+  depths.reserve(nz);
+  const double denom =
+      (std::pow(ratio, static_cast<double>(nz - 1)) - 1.0) / (ratio - 1.0);
+  double acc = 0.0;
+  depths.push_back(0.0);
+  for (std::size_t k = 1; k < nz; ++k) {
+    acc += std::pow(ratio, static_cast<double>(k - 1));
+    depths.push_back(400.0 * acc / denom);
+  }
+
+  Grid3D grid(nx, ny, dx, dy, depths);
+
+  // Coastline along the east with a bay indentation near mid-latitude:
+  // land occupies the last ~15% of columns except where the bay cuts in.
+  const auto coast_start = static_cast<std::size_t>(
+      std::floor(0.85 * static_cast<double>(nx)));
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double y_frac = static_cast<double>(iy) / static_cast<double>(ny - 1);
+    // Bay indentation: between 45% and 65% of the north-south extent the
+    // coast retreats east, carving Monterey-Bay-like concavity.
+    double local_start = static_cast<double>(coast_start);
+    if (y_frac > 0.45 && y_frac < 0.65) {
+      const double t = (y_frac - 0.45) / 0.20;
+      const double bump = std::sin(std::numbers::pi * t);
+      local_start += bump * 0.10 * static_cast<double>(nx);
+    }
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      if (static_cast<double>(ix) >= local_start) grid.set_land(ix, iy);
+    }
+  }
+
+  OceanState init(grid);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x_frac =
+          static_cast<double>(ix) / static_cast<double>(nx - 1);
+      const double y_frac =
+          static_cast<double>(iy) / static_cast<double>(ny - 1);
+      // Cross-shore SST: cold upwelled water near the coast (east), warm
+      // offshore pool to the west, plus a meander in the front.
+      const double meander =
+          0.06 * std::sin(3.0 * std::numbers::pi * y_frac);
+      const double front = 1.0 / (1.0 + std::exp(((x_frac + meander) - 0.55) /
+                                                 0.08));
+      const double sst = 11.0 + 5.0 * front;  // 11 °C coastal, 16 °C offshore
+      const double sss = 33.6 - 0.5 * front;  // saltier upwelled water
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        const std::size_t id = grid.index(ix, iy, iz);
+        init.temperature[id] = t_profile(sst, depths[iz]);
+        init.salinity[id] = s_profile(sss, depths[iz]);
+      }
+      // SSH: depressed at the cold coastal strip, plus two mesoscale
+      // eddies offshore (anticyclone north-west, cyclone south-west).
+      double ssh = -0.08 * (1.0 - front);
+      auto eddy = [&](double cx, double cy, double amp, double radius) {
+        const double rx = (x_frac - cx) * extent_km;
+        const double ry = (y_frac - cy) * extent_km;
+        return amp * std::exp(-(rx * rx + ry * ry) / (radius * radius));
+      };
+      ssh += eddy(0.30, 0.72, 0.10, 25.0);   // warm anticyclone
+      ssh += eddy(0.28, 0.25, -0.08, 22.0);  // cold cyclone
+      init.ssh[grid.hindex(ix, iy)] = ssh;
+    }
+  }
+
+  Scenario sc{std::move(grid), std::move(init), ModelParams{},
+              WindForcing::Params{}};
+  return sc;
+}
+
+Scenario make_double_gyre_scenario(std::size_t nx, std::size_t ny,
+                                   std::size_t nz) {
+  ESSEX_REQUIRE(nx >= 8 && ny >= 8 && nz >= 2,
+                "double gyre needs at least an 8x8x2 grid");
+  const double extent_km = 60.0;
+  const double dx = extent_km / static_cast<double>(nx - 1);
+  const double dy = extent_km / static_cast<double>(ny - 1);
+  std::vector<double> depths;
+  for (std::size_t k = 0; k < nz; ++k)
+    depths.push_back(200.0 * static_cast<double>(k) /
+                     static_cast<double>(nz - 1));
+  depths[0] = 0.0;
+  Grid3D grid(nx, ny, dx, dy, depths);
+
+  OceanState init(grid);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double xf = static_cast<double>(ix) / static_cast<double>(nx - 1);
+      const double yf = static_cast<double>(iy) / static_cast<double>(ny - 1);
+      const double sst =
+          13.0 + 3.0 * std::sin(std::numbers::pi * xf) *
+                     std::cos(std::numbers::pi * yf);
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        const std::size_t id = grid.index(ix, iy, iz);
+        init.temperature[id] = t_profile(sst, depths[iz]);
+        init.salinity[id] = s_profile(33.5, depths[iz]);
+      }
+      // Two counter-rotating gyres.
+      init.ssh[grid.hindex(ix, iy)] =
+          0.06 * std::sin(2.0 * std::numbers::pi * xf) *
+          std::sin(std::numbers::pi * yf);
+    }
+  }
+
+  ModelParams params;
+  params.noise_temp = 0.03;
+  WindForcing::Params wind;
+  wind.upwelling_tau = 0.05;  // gentler winds in the idealised box
+  Scenario sc{std::move(grid), std::move(init), params, wind};
+  return sc;
+}
+
+}  // namespace essex::ocean

@@ -1,0 +1,41 @@
+// ESSEX: Monterey-Bay-like idealised domain factory.
+//
+// Synthetic stand-in for the AOSN-II Monterey Bay configuration (paper
+// §6): a coastal strip of land along the eastern edge with a bay
+// indentation, a cross-shore SST front from recent upwelling, a
+// stratified thermocline and a pair of mesoscale SSH eddies. The *real*
+// AOSN-II fields are proprietary; this domain reproduces the features the
+// uncertainty forecast maps (Figs. 5/6) key on — uncertainty concentrates
+// along the upwelling front and eddy edges.
+#pragma once
+
+#include <cstddef>
+
+#include "ocean/grid.hpp"
+#include "ocean/model.hpp"
+#include "ocean/state.hpp"
+
+namespace essex::ocean {
+
+/// A ready-to-run scenario: grid + initial state + model.
+struct Scenario {
+  Grid3D grid;
+  OceanState initial;
+  ModelParams params;
+  WindForcing::Params wind;
+};
+
+/// Build the Monterey-Bay-like scenario.
+///
+/// `nx`,`ny` horizontal points (>= 16 each recommended), `nz` z-levels.
+/// The domain spans roughly 120 km × 120 km with the coast along the
+/// east; depth levels reach ~400 m.
+Scenario make_monterey_scenario(std::size_t nx = 48, std::size_t ny = 40,
+                                std::size_t nz = 6);
+
+/// A small cyclic double-gyre box with no land — the cheap test/quickstart
+/// domain (analogous to the idealised cases HOPS is smoke-tested on).
+Scenario make_double_gyre_scenario(std::size_t nx = 24, std::size_t ny = 20,
+                                   std::size_t nz = 4);
+
+}  // namespace essex::ocean

@@ -1,0 +1,101 @@
+#include "ocean/state_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace essex::ocean {
+
+namespace {
+
+using esxf::kKindState;
+using esxf::kMagic;
+using esxf::kVersion;
+
+void write_u32(std::ofstream& f, std::uint32_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_doubles(std::ofstream& f, const std::vector<double>& v) {
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::uint32_t read_u32(std::ifstream& f) {
+  std::uint32_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void read_doubles(std::ifstream& f, std::vector<double>& v) {
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void check_header(std::ifstream& f, std::uint32_t expected_kind,
+                  const std::string& path) {
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+    throw Error("not an ESSEX product file: " + path);
+  }
+  const std::uint32_t version = read_u32(f);
+  if (version != kVersion) {
+    throw Error("unsupported product version in " + path);
+  }
+  const std::uint32_t kind = read_u32(f);
+  if (kind != expected_kind) {
+    throw Error("wrong product kind in " + path);
+  }
+}
+
+}  // namespace
+
+void save_state(const std::string& path, const Grid3D& grid,
+                const OceanState& state) {
+  ESSEX_REQUIRE(state.temperature.size() == grid.points(),
+                "state does not match the grid");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot open for writing: " + path);
+  f.write(kMagic, 4);
+  write_u32(f, kVersion);
+  write_u32(f, kKindState);
+  write_u64(f, grid.nx());
+  write_u64(f, grid.ny());
+  write_u64(f, grid.nz());
+  write_doubles(f, state.pack());
+  if (!f) throw Error("failed writing: " + path);
+}
+
+OceanState load_state(const std::string& path, const Grid3D& grid) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  check_header(f, kKindState, path);
+  const std::uint64_t nx = read_u64(f);
+  const std::uint64_t ny = read_u64(f);
+  const std::uint64_t nz = read_u64(f);
+  if (nx != grid.nx() || ny != grid.ny() || nz != grid.nz()) {
+    throw Error("grid shape mismatch in " + path);
+  }
+  std::vector<double> packed(OceanState::packed_size(grid));
+  read_doubles(f, packed);
+  if (!f) throw Error("truncated product file: " + path);
+  OceanState state(grid);
+  state.unpack(packed, grid);
+  return state;
+}
+
+}  // namespace essex::ocean

@@ -1,0 +1,37 @@
+// ESSEX: forecast-product files.
+//
+// The paper's workflow is file-centric: perturbed initial conditions,
+// member forecasts and covariance files move between pert, pemodel, the
+// differ and the SVD over NFS. ESSEX stores those products in a simple
+// self-describing little-endian binary container ("ESXF"): magic, kind
+// tag, shape header, raw doubles. No external format libraries — the
+// files are the repo's stand-in for HOPS' NetCDF products.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ocean/grid.hpp"
+#include "ocean/state.hpp"
+
+namespace essex::ocean {
+
+/// Write a packed ocean state with its grid shape. Overwrites.
+/// Throws essex::Error on I/O failure.
+void save_state(const std::string& path, const Grid3D& grid,
+                const OceanState& state);
+
+/// Read a state saved by save_state(). The grid must match the stored
+/// shape exactly (nx, ny, nz).
+OceanState load_state(const std::string& path, const Grid3D& grid);
+
+/// Shared low-level pieces of the ESXF container, used by the subspace
+/// writer in esse/subspace_io.hpp as well.
+namespace esxf {
+inline constexpr char kMagic[4] = {'E', 'S', 'X', 'F'};
+inline constexpr std::uint32_t kKindState = 1;
+inline constexpr std::uint32_t kKindSubspace = 2;
+inline constexpr std::uint32_t kVersion = 1;
+}  // namespace esxf
+
+}  // namespace essex::ocean

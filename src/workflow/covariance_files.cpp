@@ -1,0 +1,47 @@
+#include "workflow/covariance_files.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "esse/subspace_io.hpp"
+
+namespace essex::workflow {
+
+CovarianceFileStore::CovarianceFileStore(std::string base_path)
+    : base_(std::move(base_path)),
+      live_a_(base_ + ".live.a"),
+      live_b_(base_ + ".live.b"),
+      safe_path_(base_ + ".safe") {
+  ESSEX_REQUIRE(!base_.empty(), "need a non-empty base path");
+}
+
+std::uint64_t CovarianceFileStore::publish(
+    const esse::ErrorSubspace& subspace) {
+  const std::string& live = (active_ == 0) ? live_a_ : live_b_;
+  esse::save_subspace(live, subspace);
+  // Atomic promote: rename(2) replaces the safe file in one step, so a
+  // concurrent reader sees either the previous snapshot or this one,
+  // never a mixture.
+  if (std::rename(live.c_str(), safe_path_.c_str()) != 0) {
+    throw Error("failed to promote covariance file: " + live + " -> " +
+                safe_path_);
+  }
+  active_ ^= 1;  // the pair alternates
+  return ++version_;
+}
+
+std::optional<esse::ErrorSubspace> CovarianceFileStore::read_safe() const {
+  try {
+    return esse::load_subspace(safe_path_);
+  } catch (const Error&) {
+    return std::nullopt;  // nothing promoted yet (or mid-cleanup)
+  }
+}
+
+void CovarianceFileStore::cleanup() {
+  std::remove(live_a_.c_str());
+  std::remove(live_b_.c_str());
+  std::remove(safe_path_.c_str());
+}
+
+}  // namespace essex::workflow

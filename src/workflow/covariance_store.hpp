@@ -1,0 +1,76 @@
+// ESSEX: the triple-file covariance protocol (paper §4.1).
+//
+// "To fully decouple the loops without introducing a race condition on
+// the covariance matrix file between its reading for the SVD and its
+// writing by diff, we employ three files, a safe one for SVD to use and a
+// live alternating pair for diff to write to, with the safe one being
+// updated by the appropriate member of the pair."
+//
+// TripleBufferStore reproduces those semantics in memory: the writer
+// appends into the live member of an alternating pair and *promotes* a
+// completed version to the safe slot; readers only ever see a complete,
+// immutable snapshot. The class is thread-safe so the real (thread-pool)
+// workflow can exercise the same protocol the DES models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace essex::workflow {
+
+/// Snapshot-consistent writer/reader exchange with triple buffering.
+/// T must be copyable; snapshots are immutable shared states.
+template <typename T>
+class TripleBufferStore {
+ public:
+  /// A published snapshot: payload + monotonically increasing version.
+  struct Snapshot {
+    std::shared_ptr<const T> data;  ///< null until the first promote
+    std::uint64_t version = 0;
+  };
+
+  /// Writer side: mutate the live buffer under `fn`, then publish it as
+  /// the new safe snapshot. The alternating pair means `fn` always sees
+  /// the latest published content as its starting point.
+  template <typename Fn>
+  void update(Fn&& fn) {
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    // Write into the non-safe member of the pair ("live" file).
+    T& live = pair_[active_ ^ 1];
+    live = last_published_;  // start from the newest promoted content
+    fn(live);
+    auto published = std::make_shared<const T>(live);
+    {
+      std::lock_guard<std::mutex> lk2(safe_mu_);
+      safe_ = published;
+      ++version_;
+    }
+    last_published_ = live;
+    active_ ^= 1;  // the pair alternates
+  }
+
+  /// Reader side (the SVD): grab the latest complete snapshot. Never
+  /// blocks the writer beyond a pointer copy.
+  Snapshot read() const {
+    std::lock_guard<std::mutex> lk(safe_mu_);
+    return Snapshot{safe_, version_};
+  }
+
+  /// Number of promotes so far.
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lk(safe_mu_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex safe_mu_;
+  std::mutex writer_mu_;
+  T pair_[2]{};
+  T last_published_{};
+  int active_ = 0;
+  std::shared_ptr<const T> safe_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace essex::workflow

@@ -1,0 +1,501 @@
+#include "workflow/esse_workflow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace essex::workflow {
+
+namespace {
+
+using mtc::ClusterScheduler;
+using mtc::JobContext;
+using mtc::JobId;
+using mtc::JobRecord;
+using mtc::JobStatus;
+using mtc::Simulator;
+
+/// Per-member accounting collected by the drivers.
+struct MemberStats {
+  double pert_cpu = 0;   ///< busy part of the pert phase (wall s)
+  double pert_io = 0;    ///< blocked part of the pert phase (wall s)
+  bool completed = false;
+};
+
+/// Shared context the job bodies write into. Owned by the drivers.
+struct BodyEnv {
+  ClusterScheduler& sched;
+  EsseWorkflowConfig cfg;
+  std::vector<MemberStats> stats;
+  std::function<void(std::size_t)> on_output_home;  // may be empty
+};
+
+/// The singleton job body (paper Fig. 3/4 "Pert" + "Forecast"):
+/// stage input → pert (cpu + local-fs busy part) → pemodel → copy-back.
+ClusterScheduler::JobBody make_member_body(std::shared_ptr<BodyEnv> env,
+                                           std::size_t member) {
+  return [env, member](JobContext& ctx) {
+    // The pert phase starts when the job starts: input staging is part
+    // of it (that is exactly what the paper's 20 % utilisation measures).
+    const double t_pert_start = env->sched.sim().now();
+    auto after_input = [env, member, &ctx, t_pert_start]() {
+      const mtc::EsseJobShape& sh = env->cfg.shape;
+      ctx.compute(sh.pert_cpu_s, [env, member, &ctx, t_pert_start] {
+        const mtc::EsseJobShape& sh2 = env->cfg.shape;
+        ctx.busy_wait(sh2.pert_fs_s, [env, member, &ctx, t_pert_start] {
+          const mtc::EsseJobShape& sh3 = env->cfg.shape;
+          // pert done: split its wall time into busy vs blocked for the
+          // utilisation metric (§5.2.1's ≈20 % → ≈100 %).
+          MemberStats& ms = env->stats[member];
+          ms.pert_cpu = sh3.pert_cpu_s / ctx.cpu_speed() + sh3.pert_fs_s;
+          ms.pert_io =
+              (env->sched.sim().now() - t_pert_start) - ms.pert_cpu;
+          ctx.compute(sh3.pemodel_cpu_s, [env, member, &ctx] {
+            ctx.transfer(env->sched.nfs(), env->cfg.shape.output_bytes,
+                         [env, member, &ctx] {
+                           env->stats[member].completed = true;
+                           ctx.finish();
+                           if (env->on_output_home)
+                             env->on_output_home(member);
+                         });
+          });
+        });
+      });
+    };
+
+    switch (env->cfg.staging) {
+      case mtc::InputStaging::kNfsDirect:
+        // Shared input files read over NFS: contended with every other
+        // concurrently-starting singleton.
+        ctx.transfer(env->sched.nfs(), env->cfg.shape.input_bytes,
+                     after_input);
+        break;
+      case mtc::InputStaging::kOpenDapRemote: {
+        // §5.3.2: hundreds of per-variable requests against one central
+        // OpenDAP server — request latency on top of the shared read.
+        const double latency =
+            static_cast<double>(env->cfg.shape.opendap_requests) *
+            env->cfg.shape.opendap_request_latency_s;
+        ctx.wait(latency, [env, &ctx, after_input] {
+          ctx.transfer(env->sched.nfs(), env->cfg.shape.input_bytes,
+                       after_input);
+        });
+        break;
+      }
+      case mtc::InputStaging::kPrestageLocal:
+        // Prestaged: the inputs already sit on the local disk, their
+        // read cost is inside pert's local-fs busy part.
+        after_input();
+        break;
+    }
+  };
+}
+
+double head_speed(const ClusterScheduler& sched,
+                  const EsseWorkflowConfig& cfg) {
+  ESSEX_REQUIRE(cfg.master_node < sched.cluster().nodes.size(),
+                "master node index out of range");
+  return sched.cluster().nodes[cfg.master_node].cpu_speed;
+}
+
+void fill_common_metrics(const ClusterScheduler& sched,
+                         const std::vector<JobId>& member_jobs,
+                         const std::vector<MemberStats>& stats,
+                         WorkflowMetrics& m) {
+  for (JobId id : member_jobs) {
+    const JobRecord& r = sched.record(id);
+    switch (r.status) {
+      case JobStatus::kDone:
+        ++m.members_completed;
+        break;
+      case JobStatus::kFailed:
+        ++m.members_failed;
+        break;
+      case JobStatus::kCancelled:
+      case JobStatus::kQueued:
+      case JobStatus::kRunning:
+        ++m.members_cancelled;
+        // Wasted work = core occupancy of a killed member (its partial
+        // segments burnt real node time even though cpu accounting only
+        // credits completed segments).
+        if (r.started > 0) m.wasted_cpu_seconds += r.finished - r.started;
+        break;
+    }
+  }
+  double util_sum = 0;
+  std::size_t util_n = 0;
+  for (const auto& s : stats) {
+    if (s.pert_cpu > 0) {
+      util_sum += s.pert_cpu / std::max(s.pert_cpu + s.pert_io, 1e-9);
+      ++util_n;
+    }
+  }
+  m.pert_cpu_utilization =
+      util_n ? util_sum / static_cast<double>(util_n) : 0;
+}
+
+// ---- serial driver (Fig. 3) --------------------------------------------
+
+struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
+  Simulator& sim;
+  ClusterScheduler& sched;
+  EsseWorkflowConfig cfg;
+  std::shared_ptr<BodyEnv> env;
+  WorkflowMetrics metrics;
+  std::vector<JobId> member_jobs;
+  std::size_t round_target = 0;
+  std::size_t submitted = 0;
+  std::size_t landed_this_round = 0;
+  std::size_t expected_this_round = 0;
+  std::size_t diffed_total = 0;
+  bool done = false;
+
+  SerialDriver(Simulator& s, ClusterScheduler& c,
+               const EsseWorkflowConfig& config)
+      : sim(s), sched(c), cfg(config) {
+    env = std::make_shared<BodyEnv>(BodyEnv{sched, cfg, {}, nullptr});
+    env->stats.resize(cfg.max_members + 1);
+  }
+
+  void start() {
+    round_target = cfg.initial_members;
+    launch_round();
+  }
+
+  void launch_round() {
+    // Fig. 3 bottleneck 1: the perturb/forecast loop must fully finish
+    // (including failures) before the diff loop may start.
+    expected_this_round = round_target - submitted;
+    landed_this_round = 0;
+    auto self = shared_from_this();
+    sched.set_completion_hook([self](const JobRecord&) {
+      ++self->landed_this_round;
+      if (self->landed_this_round == self->expected_this_round)
+        self->diff_stage();
+    });
+    std::vector<ClusterScheduler::JobBody> bodies;
+    for (std::size_t m = submitted; m < round_target; ++m) {
+      bodies.push_back(make_member_body(env, m));
+    }
+    submitted = round_target;
+    auto ids = sched.submit_array(std::move(bodies));
+    member_jobs.insert(member_jobs.end(), ids.begin(), ids.end());
+  }
+
+  void diff_stage() {
+    // Diff every completed-but-undiffed member, strictly serially on the
+    // master (Fig. 3 bottleneck 2: "the same file is written to").
+    std::size_t completed = 0;
+    for (const auto& s : env->stats)
+      if (s.completed) ++completed;
+    const std::size_t new_members = completed - diffed_total;
+    const double diff_time = static_cast<double>(new_members) *
+                             cfg.shape.diff_cpu_s / head_speed(sched, cfg);
+    diffed_total = completed;
+    auto self = shared_from_this();
+    sim.after(diff_time, [self] { self->svd_stage(); });
+  }
+
+  void svd_stage() {
+    // Fig. 3 bottleneck 3: the SVD waits for the diff loop.
+    ++metrics.svd_runs;
+    auto self = shared_from_this();
+    sim.after(cfg.shape.svd_seconds(diffed_total, head_speed(sched, cfg)),
+              [self] { self->convergence_stage(); });
+  }
+
+  void convergence_stage() {
+    metrics.members_diffed = diffed_total;
+    if (diffed_total >= cfg.converge_at) {
+      metrics.converged = true;
+      metrics.converged_at_s = sim.now();
+      finish();
+      return;
+    }
+    if (round_target >= cfg.max_members) {
+      finish();  // Nmax reached without convergence
+      return;
+    }
+    // Loop back: N → N₂ and run members N+1 … N₂ (Fig. 3).
+    round_target = std::min(
+        cfg.max_members,
+        static_cast<std::size_t>(
+            std::ceil(static_cast<double>(round_target) * cfg.growth)));
+    launch_round();
+  }
+
+  void finish() {
+    if (done) return;
+    done = true;
+    metrics.makespan_s = sim.now();
+    sched.set_completion_hook(nullptr);
+    fill_common_metrics(sched, member_jobs, env->stats, metrics);
+    metrics.nfs_bytes_moved = sched.nfs().bytes_moved();
+  }
+};
+
+// ---- parallel driver (Fig. 4) ------------------------------------------
+
+struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
+  Simulator& sim;
+  ClusterScheduler& sched;
+  EsseWorkflowConfig cfg;
+  std::shared_ptr<BodyEnv> env;
+  WorkflowMetrics metrics;
+  std::vector<JobId> member_jobs;
+
+  std::size_t target = 0;     // N
+  std::size_t submitted = 0;  // members issued to the pool (M)
+  std::size_t diffed = 0;
+  std::size_t last_svd_n = 0;
+  std::deque<std::size_t> diff_queue;
+  bool differ_busy = false;
+  bool svd_busy = false;
+  bool svd_waiting = false;
+  double svd_wait_start = 0;
+  std::size_t next_check = 0;
+  bool done = false;
+  bool draining = false;  // post-convergence final pass
+
+  ParallelDriver(Simulator& s, ClusterScheduler& c,
+                 const EsseWorkflowConfig& config)
+      : sim(s), sched(c), cfg(config) {
+    auto self_env = std::make_shared<BodyEnv>(BodyEnv{sched, cfg, {}, nullptr});
+    self_env->stats.resize(cfg.max_members + 1);
+    env = self_env;
+  }
+
+  void start() {
+    target = cfg.initial_members;
+    next_check = std::min(cfg.svd_stride, target);
+    auto self = shared_from_this();
+    env->on_output_home = [self](std::size_t m) {
+      self->on_member_output(m);
+    };
+    sched.set_completion_hook([self](const JobRecord&) {
+      self->maybe_drained();
+    });
+    submit_up_to_pool();
+    if (cfg.deadline_s > 0) {
+      sim.at(cfg.deadline_s, [self] {
+        if (!self->done) {
+          self->metrics.deadline_hit = true;
+          self->conclude();
+        }
+      });
+    }
+  }
+
+  std::size_t pool_size() const {
+    const auto m = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(target) * cfg.pool_headroom));
+    return std::min(m, cfg.max_members);
+  }
+
+  void submit_up_to_pool() {
+    std::vector<ClusterScheduler::JobBody> bodies;
+    while (submitted < pool_size()) {
+      bodies.push_back(make_member_body(env, submitted++));
+    }
+    if (!bodies.empty()) {
+      auto ids = sched.submit_array(std::move(bodies));
+      member_jobs.insert(member_jobs.end(), ids.begin(), ids.end());
+    }
+  }
+
+  void on_member_output(std::size_t member) {
+    if (done) return;
+    // The differ runs continuously, absorbing results in completion
+    // order (§4.1's fix for bottleneck 2: bookkeeping, not ordering).
+    diff_queue.push_back(member);
+    pump_differ();
+  }
+
+  void pump_differ() {
+    if (differ_busy || diff_queue.empty() || done) return;
+    differ_busy = true;
+    diff_queue.pop_front();
+    auto self = shared_from_this();
+    sim.after(cfg.shape.diff_cpu_s / head_speed(sched, cfg), [self] {
+      self->differ_busy = false;
+      ++self->diffed;
+      self->poke_svd();
+      self->pump_differ();
+      self->maybe_drained();
+    });
+  }
+
+  void poke_svd() {
+    if (done || svd_busy) return;
+    if (!draining && diffed < next_check) {
+      if (!svd_waiting) {
+        svd_waiting = true;
+        svd_wait_start = sim.now();
+      }
+      return;
+    }
+    if (draining && diffed <= last_svd_n) return;
+    if (svd_waiting) {
+      metrics.svd_idle_wait_s += sim.now() - svd_wait_start;
+      svd_waiting = false;
+    }
+    svd_busy = true;
+    const std::size_t n = diffed;  // the "safe file" snapshot
+    ++metrics.svd_runs;
+    auto self = shared_from_this();
+    sim.after(cfg.shape.svd_seconds(n, head_speed(sched, cfg)), [self, n] {
+      self->svd_busy = false;
+      self->last_svd_n = n;
+      self->convergence_check(n);
+    });
+  }
+
+  void convergence_check(std::size_t n) {
+    if (done) return;
+    metrics.members_diffed = diffed;
+    if (draining) {
+      maybe_drained();
+      return;
+    }
+    if (n >= cfg.converge_at) {
+      metrics.converged = true;
+      metrics.converged_at_s = sim.now();
+      apply_cancel_policy();
+      return;
+    }
+    // Uncapped on purpose: once every possible member has been diffed a
+    // next_check beyond max_members simply never triggers again, letting
+    // the event queue drain (capping here would re-fire the SVD forever).
+    next_check += cfg.svd_stride;
+    // Staged pool growth: enlarge before the pipeline can drain (§4.1).
+    if (diffed + cfg.svd_stride >= pool_size() &&
+        target < cfg.max_members) {
+      target = std::min(
+          cfg.max_members,
+          static_cast<std::size_t>(
+              std::ceil(static_cast<double>(target) * cfg.growth)));
+      submit_up_to_pool();
+    }
+    poke_svd();
+  }
+
+  void apply_cancel_policy() {
+    const bool spare = cfg.cancel_policy == CancelPolicy::kSpareNearFinish;
+    for (JobId id : member_jobs) {
+      const JobRecord& r = sched.record(id);
+      if (r.status == JobStatus::kQueued) {
+        sched.cancel(id);
+      } else if (r.status == JobStatus::kRunning) {
+        if (spare) {
+          // "spare any ensemble calculations close to finishing
+          // (according to performance estimates ... and accumulated
+          // runtime)" (§4.1).
+          const auto& node = sched.cluster().nodes[r.node_index];
+          const double expected = cfg.shape.pert_cpu_s / node.cpu_speed +
+                                  cfg.shape.pert_fs_s +
+                                  cfg.shape.pemodel_cpu_s / node.cpu_speed;
+          const double elapsed = sim.now() - r.started;
+          if (elapsed >= cfg.spare_fraction * expected) continue;
+        }
+        sched.cancel(id);
+      }
+    }
+    if (cfg.cancel_policy == CancelPolicy::kCancelImmediately) {
+      conclude();
+      return;
+    }
+    // kUseAllFinished / kSpareNearFinish: diff what landed, final SVD.
+    draining = true;
+    maybe_drained();
+  }
+
+  void maybe_drained() {
+    if (!draining || done) return;
+    pump_differ();
+    if (sched.running_jobs() > 0 || sched.queued_jobs() > 0 ||
+        !diff_queue.empty() || differ_busy || svd_busy) {
+      return;
+    }
+    if (last_svd_n < diffed) {
+      poke_svd();  // the final SVD over all available results
+      return;
+    }
+    conclude();
+  }
+
+  void conclude() {
+    if (done) return;
+    done = true;
+    metrics.makespan_s = sim.now();
+    metrics.members_diffed = diffed;
+    for (JobId id : member_jobs) {
+      const JobRecord& r = sched.record(id);
+      if (r.status == JobStatus::kQueued || r.status == JobStatus::kRunning)
+        sched.cancel(id);
+    }
+    sched.set_completion_hook(nullptr);
+    fill_common_metrics(sched, member_jobs, env->stats, metrics);
+    metrics.nfs_bytes_moved = sched.nfs().bytes_moved();
+  }
+};
+
+}  // namespace
+
+WorkflowMetrics run_serial_esse(mtc::Simulator& sim,
+                                mtc::ClusterScheduler& sched,
+                                const EsseWorkflowConfig& config) {
+  ESSEX_REQUIRE(config.initial_members >= 2, "need at least two members");
+  ESSEX_REQUIRE(config.max_members >= config.initial_members,
+                "Nmax must be >= N");
+  auto driver = std::make_shared<SerialDriver>(sim, sched, config);
+  driver->start();
+  sim.run();
+  driver->finish();  // no-op when already finished
+  return driver->metrics;
+}
+
+WorkflowMetrics run_parallel_esse(mtc::Simulator& sim,
+                                  mtc::ClusterScheduler& sched,
+                                  const EsseWorkflowConfig& config) {
+  ESSEX_REQUIRE(config.initial_members >= 2, "need at least two members");
+  ESSEX_REQUIRE(config.max_members >= config.initial_members,
+                "Nmax must be >= N");
+  ESSEX_REQUIRE(config.pool_headroom >= 1.0, "pool headroom must be >= 1");
+  auto driver = std::make_shared<ParallelDriver>(sim, sched, config);
+  driver->start();
+  sim.run();
+  driver->conclude();  // no-op when already concluded
+  return driver->metrics;
+}
+
+FanoutMetrics run_acoustics_fanout(mtc::Simulator& sim,
+                                   mtc::ClusterScheduler& sched,
+                                   const mtc::EsseJobShape& shape,
+                                   std::size_t n_jobs) {
+  ESSEX_REQUIRE(n_jobs >= 1, "need at least one acoustics job");
+  FanoutMetrics metrics;
+  std::size_t landed = 0;
+  sched.set_completion_hook([&](const mtc::JobRecord& rec) {
+    ++landed;
+    if (rec.status == JobStatus::kDone) ++metrics.completed;
+    if (rec.status == JobStatus::kFailed) ++metrics.failed;
+    if (landed == n_jobs) metrics.makespan_s = sim.now();
+  });
+  // §5.2.1: "in this case no job arrays were used" — plain singletons.
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    sched.submit([&shape, &sched](JobContext& ctx) {
+      ctx.compute(shape.acoustics_cpu_s, [&ctx, &shape, &sched] {
+        ctx.transfer(sched.nfs(), shape.acoustics_output_bytes,
+                     [&ctx] { ctx.finish(); });
+      });
+    });
+  }
+  sim.run();
+  sched.set_completion_hook(nullptr);
+  return metrics;
+}
+
+}  // namespace essex::workflow

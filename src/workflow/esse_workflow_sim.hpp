@@ -1,0 +1,99 @@
+// ESSEX: ESSE workflow drivers over the DES (paper Figs. 3 & 4, §5.2.1).
+//
+// Two drivers share a calibrated workload shape and a cluster scheduler:
+//
+//  * SerialEsseWorkflow (Fig. 3): stage barriers — the perturb/forecast
+//    loop must finish before the diff loop starts, diff before SVD; on a
+//    failed convergence test the pool is enlarged and the stages repeat.
+//  * ParallelEsseWorkflow (Fig. 4): a pool of M ≥ N member jobs, a
+//    continuously-running differ absorbing results in completion order, a
+//    decoupled SVD/convergence process using the latest safe snapshot,
+//    cancel-on-convergence and staged pool growth toward Nmax.
+//
+// Convergence inside the DES is *modelled* (no real fields exist here): a
+// pluggable predicate maps the diffed member count to converged/not, so
+// benches can set "converges at 600 members" and study the execution
+// behaviour the paper measured.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mtc/cluster.hpp"
+#include "mtc/job.hpp"
+#include "mtc/scheduler.hpp"
+#include "mtc/sim.hpp"
+
+namespace essex::workflow {
+
+/// What to do with in-flight members once converged (§4.1).
+enum class CancelPolicy {
+  kCancelImmediately,  ///< kill queued and running members, conclude
+  kUseAllFinished,     ///< kill queued+running, but diff+SVD what landed
+  kSpareNearFinish,    ///< let members past `spare_fraction` finish
+};
+
+/// Workflow configuration shared by both drivers.
+struct EsseWorkflowConfig {
+  mtc::EsseJobShape shape;
+  mtc::InputStaging staging = mtc::InputStaging::kPrestageLocal;
+  std::size_t initial_members = 600;  ///< N
+  double pool_headroom = 1.1;         ///< M = headroom × N (parallel only)
+  double growth = 2.0;                ///< N → growth·N on failed test
+  std::size_t max_members = 1200;     ///< Nmax
+  /// Members diffed at which the modelled convergence test succeeds.
+  std::size_t converge_at = 600;
+  /// Members between successive SVD/convergence checks.
+  std::size_t svd_stride = 50;
+  CancelPolicy cancel_policy = CancelPolicy::kCancelImmediately;
+  double spare_fraction = 0.9;  ///< for kSpareNearFinish
+  /// Forecast deadline Tmax (seconds of simulated time; 0 = none).
+  double deadline_s = 0.0;
+  /// Index of the master/head node (runs differ + SVD).
+  std::size_t master_node = 0;
+};
+
+/// Everything the benches report.
+struct WorkflowMetrics {
+  double makespan_s = 0;            ///< workflow start → all results used
+  double converged_at_s = 0;        ///< time the convergence test passed
+  std::size_t members_completed = 0;
+  std::size_t members_cancelled = 0;
+  std::size_t members_failed = 0;
+  std::size_t members_diffed = 0;
+  std::size_t svd_runs = 0;
+  bool converged = false;
+  bool deadline_hit = false;
+  double pert_cpu_utilization = 0;  ///< mean over completed members
+  double wasted_cpu_seconds = 0;    ///< compute burnt by cancelled members
+  double nfs_bytes_moved = 0;
+  double svd_idle_wait_s = 0;       ///< SVD time spent waiting for data
+};
+
+/// Run the Fig. 3 serial workflow to completion in the DES. The
+/// scheduler must be freshly constructed (no other jobs).
+WorkflowMetrics run_serial_esse(mtc::Simulator& sim,
+                                mtc::ClusterScheduler& sched,
+                                const EsseWorkflowConfig& config);
+
+/// Run the Fig. 4 parallel (MTC) workflow to completion in the DES.
+WorkflowMetrics run_parallel_esse(mtc::Simulator& sim,
+                                  mtc::ClusterScheduler& sched,
+                                  const EsseWorkflowConfig& config);
+
+/// Fan out `n_jobs` independent acoustic singletons (§5.2.1: "more than
+/// 6000 ocean acoustics realizations - each ... approximately 3 minutes")
+/// and return (makespan, completed count).
+struct FanoutMetrics {
+  double makespan_s = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+};
+FanoutMetrics run_acoustics_fanout(mtc::Simulator& sim,
+                                   mtc::ClusterScheduler& sched,
+                                   const mtc::EsseJobShape& shape,
+                                   std::size_t n_jobs);
+
+}  // namespace essex::workflow

@@ -1,0 +1,156 @@
+#include "workflow/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace essex::workflow {
+
+namespace {
+
+la::Vector run_member(const ocean::OceanModel& model,
+                      const la::Vector& packed_initial, double t0_hours,
+                      double forecast_hours, bool stochastic,
+                      std::uint64_t seed, std::size_t member_id) {
+  ocean::OceanState state(model.grid());
+  state.unpack(packed_initial, model.grid());
+  if (stochastic) {
+    Rng rng(seed ^ 0xA5A5A5A5ULL, member_id + 1);
+    model.run(state, t0_hours, forecast_hours, &rng);
+  } else {
+    model.run(state, t0_hours, forecast_hours, nullptr);
+  }
+  return state.pack();
+}
+
+}  // namespace
+
+ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
+                                        const ocean::OceanState& initial,
+                                        const esse::ErrorSubspace& subspace,
+                                        double t0_hours,
+                                        const ParallelRunnerConfig& config) {
+  const esse::CycleParams& cp = config.cycle;
+  ESSEX_REQUIRE(config.pool_headroom >= 1.0, "pool headroom must be >= 1");
+  ESSEX_REQUIRE(config.svd_min_new_members >= 1,
+                "svd stride must be >= 1");
+
+  const la::Vector packed_initial = initial.pack();
+  ESSEX_REQUIRE(packed_initial.size() == subspace.dim(),
+                "initial subspace does not match the state dimension");
+
+  // Central forecast first (also what the differ normalises against).
+  la::Vector central = run_member(model, packed_initial, t0_hours,
+                                  cp.forecast_hours, false,
+                                  cp.perturbation.seed, 0);
+
+  esse::PerturbationGenerator pert(subspace, cp.perturbation);
+  esse::Differ differ(central);
+  esse::ConvergenceTest conv(cp.convergence);
+  esse::EnsembleSizeController sizer(cp.ensemble);
+  TripleBufferStore<esse::SpreadSnapshot> store;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t landed = 0;
+  std::size_t since_snapshot = 0;
+
+  ThreadPool pool(std::max<std::size_t>(cp.threads, 1));
+  ParallelRunResult out;
+  std::size_t submitted = 0;
+
+  auto submit_member = [&](std::size_t id) {
+    pool.submit([&, id](const std::atomic<bool>& stop) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      la::Vector x0 = pert.perturbed_state(packed_initial, id);
+      la::Vector xf = run_member(model, x0, t0_hours, cp.forecast_hours,
+                                 cp.stochastic_members, cp.perturbation.seed,
+                                 id);
+      differ.add_member(id, xf);
+      bool promote = false;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++landed;
+        if (++since_snapshot >= config.svd_min_new_members &&
+            differ.count() >= 2) {
+          since_snapshot = 0;
+          promote = true;
+        }
+      }
+      // Promote a new covariance snapshot through the triple-buffer
+      // store (the "safe file" the SVD reads).
+      if (promote) {
+        store.update(
+            [&](esse::SpreadSnapshot& s) { s = differ.snapshot(); });
+      }
+      cv.notify_all();
+    });
+  };
+
+  auto fill_pool = [&] {
+    const auto m = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(sizer.target()) * config.pool_headroom));
+    const std::size_t cap =
+        std::max(sizer.target(),
+                 std::min(m, cp.ensemble.max_members));
+    while (submitted < cap) submit_member(submitted++);
+  };
+
+  fill_pool();
+
+  std::uint64_t last_version = 0;
+  for (;;) {
+    // Wait for fresh data or for the pool to drain.
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] {
+        return store.version() != last_version || landed >= submitted;
+      });
+    }
+    const auto snap = store.read();
+    if (snap.version != last_version && snap.data &&
+        snap.data->anomalies.cols() >= 2) {
+      last_version = snap.version;
+      ++out.svd_runs;
+      const la::ThinSvd svd =
+          la::svd_thin(snap.data->anomalies, la::SvdMethod::kGram);
+      esse::ErrorSubspace sub = esse::ErrorSubspace::from_svd(
+          svd.u, svd.s, cp.variance_fraction, cp.max_rank);
+      conv.update(sub, snap.data->anomalies.cols());
+      if (conv.converged()) {
+        pool.cancel_pending();  // §4.1: cancel the remaining members
+        break;
+      }
+    }
+    std::size_t landed_now;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      landed_now = landed;
+    }
+    if (landed_now >= submitted && store.version() == last_version) {
+      // Pool drained without convergence: grow toward Nmax or stop.
+      if (sizer.at_max()) break;
+      sizer.grow();
+      fill_pool();
+    }
+  }
+  pool.wait_idle();
+
+  out.forecast.central_forecast = std::move(central);
+  out.forecast.forecast_subspace =
+      differ.subspace(cp.variance_fraction, cp.max_rank);
+  out.forecast.members_run = differ.count();
+  out.forecast.converged = conv.converged();
+  out.forecast.convergence_history = conv.history();
+  out.members_submitted = submitted;
+  out.members_cancelled = submitted - differ.count();
+  out.store_versions = store.version();
+  return out;
+}
+
+}  // namespace essex::workflow

@@ -1,0 +1,47 @@
+// ESSEX: the real (in-process) Fig. 4 parallel ESSE runner.
+//
+// Runs actual ocean-model ensemble members on a thread pool with the MTC
+// semantics of §4.1: a task pool of size M ≥ N, a continuously-updated
+// differ, an SVD/convergence thread reading snapshots through the
+// triple-buffer covariance store, cancellation of queued members on
+// convergence, and staged pool growth. This is the scientific counterpart
+// of the DES driver in esse_workflow_sim.hpp — same structure, real
+// numbers.
+#pragma once
+
+#include <cstddef>
+
+#include "esse/convergence.hpp"
+#include "esse/cycle.hpp"
+#include "esse/differ.hpp"
+#include "esse/error_subspace.hpp"
+#include "ocean/model.hpp"
+#include "workflow/covariance_store.hpp"
+
+namespace essex::workflow {
+
+/// Configuration of the real parallel runner (numerics shared with
+/// esse::CycleParams).
+struct ParallelRunnerConfig {
+  esse::CycleParams cycle;     ///< perturbation/convergence/size knobs
+  double pool_headroom = 1.25; ///< M = headroom × N
+  std::size_t svd_min_new_members = 4;  ///< snapshot stride for the SVD
+};
+
+/// Result mirrors esse::ForecastResult plus MTC accounting.
+struct ParallelRunResult {
+  esse::ForecastResult forecast;
+  std::size_t members_submitted = 0;
+  std::size_t members_cancelled = 0;
+  std::size_t svd_runs = 0;
+  std::uint64_t store_versions = 0;  ///< covariance snapshots promoted
+};
+
+/// Run the uncertainty forecast with the Fig. 4 pipeline on real threads.
+ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
+                                        const ocean::OceanState& initial,
+                                        const esse::ErrorSubspace& subspace,
+                                        double t0_hours,
+                                        const ParallelRunnerConfig& config);
+
+}  // namespace essex::workflow

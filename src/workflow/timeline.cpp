@@ -1,0 +1,92 @@
+#include "workflow/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace essex::workflow {
+
+ForecastTimeline::ForecastTimeline(double t0_h, double tf_h)
+    : t0_(t0_h), tf_(tf_h) {
+  ESSEX_REQUIRE(tf_h > t0_h, "experiment must have positive duration");
+}
+
+void ForecastTimeline::add_observation_period(
+    const ObservationPeriod& period) {
+  ESSEX_REQUIRE(period.end_h > period.start_h,
+                "observation period must have positive duration");
+  ESSEX_REQUIRE(period.start_h >= t0_ && period.end_h <= tf_,
+                "observation period outside the experiment window");
+  ESSEX_REQUIRE(period.available_at_h >= period.end_h,
+                "data cannot be available before it is measured");
+  if (!periods_.empty()) {
+    ESSEX_REQUIRE(period.start_h >= periods_.back().end_h,
+                  "observation periods must be time-ordered");
+  }
+  periods_.push_back(period);
+}
+
+void ForecastTimeline::add_procedure(const ForecastProcedure& proc) {
+  ESSEX_REQUIRE(proc.tau_end_h > proc.tau_start_h,
+                "procedure must have positive duration");
+  ESSEX_REQUIRE(proc.sim_end_h > proc.sim_start_h,
+                "simulation must have positive duration");
+  ESSEX_REQUIRE(proc.sim_start_h >= t0_,
+                "simulation starts before the experiment");
+  procedures_.push_back(proc);
+}
+
+std::vector<std::size_t> ForecastTimeline::assimilatable_periods(
+    std::size_t k) const {
+  ESSEX_REQUIRE(k < procedures_.size(), "unknown procedure index");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < periods_.size(); ++i) {
+    if (periods_[i].available_at_h <= procedures_[k].tau_start_h &&
+        periods_[i].start_h >= procedures_[k].sim_start_h) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double ForecastTimeline::nowcast_boundary(std::size_t k) const {
+  const auto usable = assimilatable_periods(k);
+  if (usable.empty()) return procedures_[k].sim_start_h;
+  return periods_[usable.back()].end_h;
+}
+
+double ForecastTimeline::forecast_horizon(std::size_t k) const {
+  return procedures_[k].sim_end_h - nowcast_boundary(k);
+}
+
+std::string ForecastTimeline::render() const {
+  std::ostringstream os;
+  os << "experiment ocean time: [" << t0_ << " h, " << tf_ << " h]\n";
+  os << "observation periods:\n";
+  for (std::size_t i = 0; i < periods_.size(); ++i) {
+    const auto& p = periods_[i];
+    os << "  T" << i << " [" << p.start_h << ", " << p.end_h
+       << ") available at " << p.available_at_h << " h";
+    if (!p.label.empty()) os << "  (" << p.label << ")";
+    os << '\n';
+  }
+  os << "forecast procedures:\n";
+  for (std::size_t k = 0; k < procedures_.size(); ++k) {
+    const auto& f = procedures_[k];
+    os << "  tau" << k << " runs [" << f.tau_start_h << ", " << f.tau_end_h
+       << ") — simulates [" << f.sim_start_h << ", " << f.sim_end_h
+       << "), nowcast boundary " << nowcast_boundary(k)
+       << " h, forecast horizon " << forecast_horizon(k) << " h,"
+       << " assimilates {";
+    const auto usable = assimilatable_periods(k);
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      if (i) os << ",";
+      os << "T" << usable[i];
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace essex::workflow

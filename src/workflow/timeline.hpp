@@ -1,0 +1,78 @@
+// ESSEX: forecasting timelines (paper Fig. 1).
+//
+// Three clocks matter in real-time ocean forecasting: the observation
+// ("ocean") time T during which measurements are made, the forecaster
+// time τ during which the k-th forecasting procedure runs, and each
+// simulation's own time t spanning portions of ocean time. ForecastTimeline
+// keeps the bookkeeping straight: which observation batches a simulation
+// may assimilate (only those already available at its forecaster start)
+// and where the nowcast/forecast boundary falls.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace essex::workflow {
+
+/// One observation period T_k: data measured in [start, end) hours of
+/// ocean time, made available to forecasters at `available_at`.
+struct ObservationPeriod {
+  double start_h = 0;
+  double end_h = 0;
+  double available_at_h = 0;  ///< processing/telemetry delay included
+  std::string label;
+};
+
+/// One forecaster procedure τ_k.
+struct ForecastProcedure {
+  double tau_start_h = 0;  ///< forecaster wall-clock start (ocean time)
+  double tau_end_h = 0;    ///< deadline for web distribution
+  double sim_start_h = 0;  ///< t_0: where the simulation starts in ocean time
+  double sim_end_h = 0;    ///< t_f: last prediction time T_{k+n}
+};
+
+/// The experiment-long schedule of Fig. 1.
+class ForecastTimeline {
+ public:
+  /// `t0_h`/`tf_h` bound the experiment in ocean time.
+  ForecastTimeline(double t0_h, double tf_h);
+
+  /// Append an observation period; periods must be time-ordered.
+  void add_observation_period(const ObservationPeriod& period);
+
+  /// Append a forecaster procedure; must satisfy
+  /// sim_start <= nowcast boundary <= sim_end and fit in the experiment.
+  void add_procedure(const ForecastProcedure& proc);
+
+  const std::vector<ObservationPeriod>& observation_periods() const {
+    return periods_;
+  }
+  const std::vector<ForecastProcedure>& procedures() const {
+    return procedures_;
+  }
+
+  /// Observation periods whose data is available when procedure `k`
+  /// starts — what its simulations may assimilate.
+  std::vector<std::size_t> assimilatable_periods(std::size_t k) const;
+
+  /// The nowcast boundary of procedure `k`: the end of the last
+  /// assimilatable period (after it the simulation is a true forecast).
+  double nowcast_boundary(std::size_t k) const;
+
+  /// Forecast horizon of procedure `k` in hours (sim_end − nowcast).
+  double forecast_horizon(std::size_t k) const;
+
+  /// Multi-line textual rendering of the three timelines.
+  std::string render() const;
+
+  double t0() const { return t0_; }
+  double tf() const { return tf_; }
+
+ private:
+  double t0_, tf_;
+  std::vector<ObservationPeriod> periods_;
+  std::vector<ForecastProcedure> procedures_;
+};
+
+}  // namespace essex::workflow

@@ -1,0 +1,221 @@
+// Unit + property tests: the discrete-event engine and the processor-
+// sharing bandwidth resource.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mtc/sim.hpp"
+
+namespace essex::mtc {
+namespace {
+
+// ---- Simulator --------------------------------------------------------------
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.at(5.0, [&] {
+    sim.after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  const std::size_t n = sim.run_until(5.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RejectsPastEventsAndEmptyCallbacks) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.after(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.after(1.0, nullptr), PreconditionError);
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(1.0, recurse);
+  };
+  sim.after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+// ---- BandwidthResource ---------------------------------------------------------
+
+TEST(Bandwidth, SingleTransferTakesSizeOverCapacity) {
+  Simulator sim;
+  BandwidthResource link(sim, 100.0);  // 100 B/s
+  double done_at = -1;
+  link.start_transfer(500.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(Bandwidth, TwoEqualTransfersShareFairly) {
+  Simulator sim;
+  BandwidthResource link(sim, 100.0);
+  double t1 = -1, t2 = -1;
+  link.start_transfer(500.0, [&] { t1 = sim.now(); });
+  link.start_transfer(500.0, [&] { t2 = sim.now(); });
+  sim.run();
+  // Both share 50 B/s → 10 s each.
+  EXPECT_NEAR(t1, 10.0, 1e-9);
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+}
+
+TEST(Bandwidth, ShortTransferFinishesFirstThenFullRate) {
+  Simulator sim;
+  BandwidthResource link(sim, 100.0);
+  double t_small = -1, t_big = -1;
+  link.start_transfer(100.0, [&] { t_small = sim.now(); });
+  link.start_transfer(900.0, [&] { t_big = sim.now(); });
+  sim.run();
+  // Shared until the small one finishes at 2 s (50 B/s), then the big one
+  // has 800 B left at full rate: 2 + 8 = 10 s.
+  EXPECT_NEAR(t_small, 2.0, 1e-9);
+  EXPECT_NEAR(t_big, 10.0, 1e-9);
+}
+
+TEST(Bandwidth, LateArrivalSlowsExistingFlow) {
+  Simulator sim;
+  BandwidthResource link(sim, 100.0);
+  double t1 = -1, t2 = -1;
+  link.start_transfer(1000.0, [&] { t1 = sim.now(); });
+  sim.at(5.0, [&] { link.start_transfer(250.0, [&] { t2 = sim.now(); }); });
+  sim.run();
+  // First flow: 500 B done at t=5 alone; then shares 50 B/s. Second flow
+  // needs 5 s at 50 B/s → done at 10. First has 250 B left at t=10, full
+  // rate → done at 12.5.
+  EXPECT_NEAR(t2, 10.0, 1e-9);
+  EXPECT_NEAR(t1, 12.5, 1e-9);
+}
+
+TEST(Bandwidth, ConservesBytes) {
+  Simulator sim;
+  BandwidthResource link(sim, 77.0);
+  const std::vector<double> sizes{10, 200, 3000, 42, 7};
+  int done = 0;
+  for (double s : sizes) link.start_transfer(s, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 5);
+  double total = 0;
+  for (double s : sizes) total += s;
+  EXPECT_NEAR(link.bytes_moved(), total, 1e-6);
+}
+
+TEST(Bandwidth, BusyTimeEqualsAggregateWorkWhenSaturated) {
+  Simulator sim;
+  BandwidthResource link(sim, 10.0);
+  link.start_transfer(50.0, [] {});
+  link.start_transfer(50.0, [] {});
+  sim.run();
+  // 100 bytes at 10 B/s: the server is busy exactly 10 s.
+  EXPECT_NEAR(link.busy_seconds(), 10.0, 1e-9);
+}
+
+TEST(Bandwidth, ManyConcurrentFlowsAllComplete) {
+  Simulator sim;
+  BandwidthResource link(sim, 1000.0);
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    link.start_transfer(100.0 + i, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(link.active(), 0u);
+}
+
+TEST(Bandwidth, ZeroByteTransferCompletesImmediately) {
+  Simulator sim;
+  BandwidthResource link(sim, 10.0);
+  double t = -1;
+  link.start_transfer(0.0, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t, 0.0, 1e-6);
+}
+
+TEST(Bandwidth, CallbackMayStartNewTransfer) {
+  Simulator sim;
+  BandwidthResource link(sim, 100.0);
+  double t2 = -1;
+  link.start_transfer(100.0, [&] {
+    link.start_transfer(100.0, [&] { t2 = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(Bandwidth, ValidatesArguments) {
+  Simulator sim;
+  EXPECT_THROW(BandwidthResource(sim, 0.0), PreconditionError);
+  BandwidthResource link(sim, 1.0);
+  EXPECT_THROW(link.start_transfer(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(link.start_transfer(1.0, nullptr), PreconditionError);
+}
+
+// Property sweep: N equal flows through one server finish at N×size/cap.
+class FairSharing : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairSharing, EqualFlowsFinishTogetherAtAggregateRate) {
+  const int n = GetParam();
+  Simulator sim;
+  BandwidthResource link(sim, 1000.0);
+  std::vector<double> finish(n, -1);
+  for (int i = 0; i < n; ++i) {
+    link.start_transfer(100.0, [&, i] { finish[i] = sim.now(); });
+  }
+  sim.run();
+  const double expected = n * 100.0 / 1000.0;
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(finish[i], expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FairSharing,
+                         ::testing::Values(1, 2, 3, 7, 32, 210));
+
+}  // namespace
+}  // namespace essex::mtc

@@ -1,0 +1,163 @@
+// Tests of the real-thread MTC pieces: the triple-buffer covariance
+// store (race-freedom property) and the in-process Fig. 4 runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "esse/cycle.hpp"
+#include "ocean/monterey.hpp"
+#include "workflow/covariance_store.hpp"
+#include "workflow/parallel_runner.hpp"
+
+namespace essex::workflow {
+namespace {
+
+// ---- triple-buffer store ------------------------------------------------------
+
+struct Payload {
+  std::vector<int> data;
+};
+
+TEST(TripleBufferStore, EmptyUntilFirstPromote) {
+  TripleBufferStore<Payload> store;
+  auto snap = store.read();
+  EXPECT_EQ(snap.version, 0u);
+  EXPECT_EQ(snap.data, nullptr);
+}
+
+TEST(TripleBufferStore, UpdateStartsFromLatestPublishedContent) {
+  TripleBufferStore<Payload> store;
+  store.update([](Payload& p) { p.data.push_back(1); });
+  store.update([](Payload& p) { p.data.push_back(2); });
+  store.update([](Payload& p) { p.data.push_back(3); });
+  auto snap = store.read();
+  EXPECT_EQ(snap.version, 3u);
+  ASSERT_TRUE(snap.data);
+  EXPECT_EQ(snap.data->data, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TripleBufferStore, SnapshotsAreImmutableUnderLaterWrites) {
+  TripleBufferStore<Payload> store;
+  store.update([](Payload& p) { p.data = {1, 2}; });
+  auto snap = store.read();
+  store.update([](Payload& p) { p.data.push_back(3); });
+  EXPECT_EQ(snap.data->data, (std::vector<int>{1, 2}));  // unchanged
+  EXPECT_EQ(store.read().data->data.size(), 3u);
+}
+
+TEST(TripleBufferStore, ConcurrentReadersNeverSeeTornData) {
+  // Property: a payload written as {v, v, ..., v} must always be read as
+  // all-equal — exactly the guarantee the paper's safe/live file pair
+  // provides for the covariance matrix.
+  TripleBufferStore<Payload> store;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (int v = 1; v <= 3000; ++v) {
+      store.update([v](Payload& p) { p.data.assign(64, v); });
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!stop.load()) {
+        auto snap = store.read();
+        if (!snap.data) continue;
+        // Versions are monotone.
+        if (snap.version < last_version) ++torn;
+        last_version = snap.version;
+        const auto& d = snap.data->data;
+        for (std::size_t i = 1; i < d.size(); ++i) {
+          if (d[i] != d[0]) {
+            ++torn;
+            break;
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(store.version(), 3000u);
+}
+
+// ---- the real parallel runner -------------------------------------------------
+
+struct RunnerFixture : ::testing::Test {
+  void SetUp() override {
+    sc = std::make_unique<ocean::Scenario>(
+        ocean::make_double_gyre_scenario(12, 10, 3));
+    model = std::make_unique<ocean::OceanModel>(
+        sc->grid, sc->params, ocean::WindForcing(sc->wind), sc->initial);
+    subspace = esse::bootstrap_subspace(*model, sc->initial, 0.0, 3.0, 8,
+                                        0.99, 6, /*seed=*/11);
+  }
+  std::unique_ptr<ocean::Scenario> sc;
+  std::unique_ptr<ocean::OceanModel> model;
+  esse::ErrorSubspace subspace;
+};
+
+TEST_F(RunnerFixture, ProducesConvergedForecastSubspace) {
+  ParallelRunnerConfig cfg;
+  cfg.cycle.forecast_hours = 3.0;
+  cfg.cycle.threads = 2;
+  cfg.cycle.ensemble = {8, 2.0, 48};
+  cfg.cycle.convergence = {0.90, 6};
+  cfg.cycle.max_rank = 8;
+  cfg.svd_min_new_members = 4;
+  ParallelRunResult res =
+      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
+  EXPECT_GT(res.forecast.members_run, 4u);
+  EXPECT_GT(res.forecast.forecast_subspace.rank(), 0u);
+  EXPECT_GT(res.store_versions, 0u);
+  EXPECT_GE(res.svd_runs, 1u);
+}
+
+TEST_F(RunnerFixture, MatchesBlockSynchronousDriverStatistically) {
+  // Both drivers estimate the same spread: their total variances must
+  // agree to ensemble sampling accuracy.
+  esse::CycleParams cp;
+  cp.forecast_hours = 3.0;
+  cp.threads = 2;
+  cp.ensemble = {16, 2.0, 16};
+  cp.convergence = {0.999999, 64};  // never converge early: run all 16
+  cp.max_rank = 10;
+  esse::ForecastResult block = esse::run_uncertainty_forecast(
+      *model, sc->initial, subspace, 0.0, cp);
+
+  ParallelRunnerConfig cfg;
+  cfg.cycle = cp;
+  cfg.pool_headroom = 1.0;
+  ParallelRunResult mtc =
+      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
+
+  ASSERT_EQ(block.members_run, 16u);
+  ASSERT_EQ(mtc.forecast.members_run, 16u);
+  const double v1 = block.forecast_subspace.total_variance();
+  const double v2 = mtc.forecast.forecast_subspace.total_variance();
+  EXPECT_NEAR(v1, v2, 0.2 * std::max(v1, v2));
+}
+
+TEST_F(RunnerFixture, CancellationLeavesConsistentCounts) {
+  ParallelRunnerConfig cfg;
+  cfg.cycle.forecast_hours = 2.0;
+  cfg.cycle.threads = 1;  // serial workers → cancellation certain to hit
+  cfg.cycle.ensemble = {8, 2.0, 64};
+  cfg.cycle.convergence = {0.5, 4};  // converges almost immediately
+  cfg.pool_headroom = 2.0;
+  ParallelRunResult res =
+      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
+  EXPECT_EQ(res.members_submitted,
+            res.forecast.members_run + res.members_cancelled);
+  EXPECT_TRUE(res.forecast.converged);
+  EXPECT_GT(res.members_cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace essex::workflow
