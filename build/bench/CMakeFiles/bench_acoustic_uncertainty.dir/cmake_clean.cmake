@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acoustic_uncertainty.dir/bench_acoustic_uncertainty.cpp.o"
+  "CMakeFiles/bench_acoustic_uncertainty.dir/bench_acoustic_uncertainty.cpp.o.d"
+  "bench_acoustic_uncertainty"
+  "bench_acoustic_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acoustic_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

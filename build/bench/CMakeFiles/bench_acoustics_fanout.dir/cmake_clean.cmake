@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acoustics_fanout.dir/bench_acoustics_fanout.cpp.o"
+  "CMakeFiles/bench_acoustics_fanout.dir/bench_acoustics_fanout.cpp.o.d"
+  "bench_acoustics_fanout"
+  "bench_acoustics_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acoustics_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autoscaler.dir/bench_autoscaler.cpp.o"
+  "CMakeFiles/bench_autoscaler.dir/bench_autoscaler.cpp.o.d"
+  "bench_autoscaler"
+  "bench_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

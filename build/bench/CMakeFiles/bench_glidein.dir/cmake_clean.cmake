@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glidein.dir/bench_glidein.cpp.o"
+  "CMakeFiles/bench_glidein.dir/bench_glidein.cpp.o.d"
+  "bench_glidein"
+  "bench_glidein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glidein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_local_cluster_io.cpp" "bench/CMakeFiles/bench_local_cluster_io.dir/bench_local_cluster_io.cpp.o" "gcc" "bench/CMakeFiles/bench_local_cluster_io.dir/bench_local_cluster_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/essex_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/essex_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/esse/CMakeFiles/essex_esse.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/essex_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/essex_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtc/CMakeFiles/essex_mtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

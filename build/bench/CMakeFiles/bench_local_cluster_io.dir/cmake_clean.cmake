@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_cluster_io.dir/bench_local_cluster_io.cpp.o"
+  "CMakeFiles/bench_local_cluster_io.dir/bench_local_cluster_io.cpp.o.d"
+  "bench_local_cluster_io"
+  "bench_local_cluster_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_cluster_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_jobs.dir/bench_nested_jobs.cpp.o"
+  "CMakeFiles/bench_nested_jobs.dir/bench_nested_jobs.cpp.o.d"
+  "bench_nested_jobs"
+  "bench_nested_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

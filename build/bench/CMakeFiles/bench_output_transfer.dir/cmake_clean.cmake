@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_output_transfer.dir/bench_output_transfer.cpp.o"
+  "CMakeFiles/bench_output_transfer.dir/bench_output_transfer.cpp.o.d"
+  "bench_output_transfer"
+  "bench_output_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_output_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

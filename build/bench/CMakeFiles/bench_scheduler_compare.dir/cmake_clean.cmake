@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_compare.dir/bench_scheduler_compare.cpp.o"
+  "CMakeFiles/bench_scheduler_compare.dir/bench_scheduler_compare.cpp.o.d"
+  "bench_scheduler_compare"
+  "bench_scheduler_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uncertainty_maps.dir/bench_uncertainty_maps.cpp.o"
+  "CMakeFiles/bench_uncertainty_maps.dir/bench_uncertainty_maps.cpp.o.d"
+  "bench_uncertainty_maps"
+  "bench_uncertainty_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uncertainty_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

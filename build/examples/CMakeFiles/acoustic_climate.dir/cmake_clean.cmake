@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_climate.dir/acoustic_climate.cpp.o"
+  "CMakeFiles/acoustic_climate.dir/acoustic_climate.cpp.o.d"
+  "acoustic_climate"
+  "acoustic_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monterey_bay.dir/monterey_bay.cpp.o"
+  "CMakeFiles/monterey_bay.dir/monterey_bay.cpp.o.d"
+  "monterey_bay"
+  "monterey_bay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monterey_bay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for monterey_bay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_cluster_sim.dir/mtc_cluster_sim.cpp.o"
+  "CMakeFiles/mtc_cluster_sim.dir/mtc_cluster_sim.cpp.o.d"
+  "mtc_cluster_sim"
+  "mtc_cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

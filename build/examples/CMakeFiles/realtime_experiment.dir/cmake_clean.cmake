@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_experiment.dir/realtime_experiment.cpp.o"
+  "CMakeFiles/realtime_experiment.dir/realtime_experiment.cpp.o.d"
+  "realtime_experiment"
+  "realtime_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acoustics/coupled_assimilation.cpp" "src/acoustics/CMakeFiles/essex_acoustics.dir/coupled_assimilation.cpp.o" "gcc" "src/acoustics/CMakeFiles/essex_acoustics.dir/coupled_assimilation.cpp.o.d"
+  "/root/repo/src/acoustics/ensemble.cpp" "src/acoustics/CMakeFiles/essex_acoustics.dir/ensemble.cpp.o" "gcc" "src/acoustics/CMakeFiles/essex_acoustics.dir/ensemble.cpp.o.d"
+  "/root/repo/src/acoustics/slice.cpp" "src/acoustics/CMakeFiles/essex_acoustics.dir/slice.cpp.o" "gcc" "src/acoustics/CMakeFiles/essex_acoustics.dir/slice.cpp.o.d"
+  "/root/repo/src/acoustics/sound_speed.cpp" "src/acoustics/CMakeFiles/essex_acoustics.dir/sound_speed.cpp.o" "gcc" "src/acoustics/CMakeFiles/essex_acoustics.dir/sound_speed.cpp.o.d"
+  "/root/repo/src/acoustics/tl_solver.cpp" "src/acoustics/CMakeFiles/essex_acoustics.dir/tl_solver.cpp.o" "gcc" "src/acoustics/CMakeFiles/essex_acoustics.dir/tl_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/essex_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/esse/CMakeFiles/essex_esse.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/essex_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

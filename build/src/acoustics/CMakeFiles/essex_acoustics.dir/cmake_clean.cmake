@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_acoustics.dir/coupled_assimilation.cpp.o"
+  "CMakeFiles/essex_acoustics.dir/coupled_assimilation.cpp.o.d"
+  "CMakeFiles/essex_acoustics.dir/ensemble.cpp.o"
+  "CMakeFiles/essex_acoustics.dir/ensemble.cpp.o.d"
+  "CMakeFiles/essex_acoustics.dir/slice.cpp.o"
+  "CMakeFiles/essex_acoustics.dir/slice.cpp.o.d"
+  "CMakeFiles/essex_acoustics.dir/sound_speed.cpp.o"
+  "CMakeFiles/essex_acoustics.dir/sound_speed.cpp.o.d"
+  "CMakeFiles/essex_acoustics.dir/tl_solver.cpp.o"
+  "CMakeFiles/essex_acoustics.dir/tl_solver.cpp.o.d"
+  "libessex_acoustics.a"
+  "libessex_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

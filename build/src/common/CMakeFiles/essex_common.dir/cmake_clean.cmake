@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_common.dir/error.cpp.o"
+  "CMakeFiles/essex_common.dir/error.cpp.o.d"
+  "CMakeFiles/essex_common.dir/field_io.cpp.o"
+  "CMakeFiles/essex_common.dir/field_io.cpp.o.d"
+  "CMakeFiles/essex_common.dir/rng.cpp.o"
+  "CMakeFiles/essex_common.dir/rng.cpp.o.d"
+  "CMakeFiles/essex_common.dir/table.cpp.o"
+  "CMakeFiles/essex_common.dir/table.cpp.o.d"
+  "CMakeFiles/essex_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/essex_common.dir/thread_pool.cpp.o.d"
+  "libessex_common.a"
+  "libessex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esse/adaptive_sampling.cpp" "src/esse/CMakeFiles/essex_esse.dir/adaptive_sampling.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/adaptive_sampling.cpp.o.d"
+  "/root/repo/src/esse/analysis.cpp" "src/esse/CMakeFiles/essex_esse.dir/analysis.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/analysis.cpp.o.d"
+  "/root/repo/src/esse/convergence.cpp" "src/esse/CMakeFiles/essex_esse.dir/convergence.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/convergence.cpp.o.d"
+  "/root/repo/src/esse/cycle.cpp" "src/esse/CMakeFiles/essex_esse.dir/cycle.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/cycle.cpp.o.d"
+  "/root/repo/src/esse/differ.cpp" "src/esse/CMakeFiles/essex_esse.dir/differ.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/differ.cpp.o.d"
+  "/root/repo/src/esse/error_subspace.cpp" "src/esse/CMakeFiles/essex_esse.dir/error_subspace.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/error_subspace.cpp.o.d"
+  "/root/repo/src/esse/perturbation.cpp" "src/esse/CMakeFiles/essex_esse.dir/perturbation.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/perturbation.cpp.o.d"
+  "/root/repo/src/esse/smoother.cpp" "src/esse/CMakeFiles/essex_esse.dir/smoother.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/smoother.cpp.o.d"
+  "/root/repo/src/esse/subspace_io.cpp" "src/esse/CMakeFiles/essex_esse.dir/subspace_io.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/subspace_io.cpp.o.d"
+  "/root/repo/src/esse/tangent.cpp" "src/esse/CMakeFiles/essex_esse.dir/tangent.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/tangent.cpp.o.d"
+  "/root/repo/src/esse/verification.cpp" "src/esse/CMakeFiles/essex_esse.dir/verification.cpp.o" "gcc" "src/esse/CMakeFiles/essex_esse.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/essex_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/essex_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_esse.dir/adaptive_sampling.cpp.o"
+  "CMakeFiles/essex_esse.dir/adaptive_sampling.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/analysis.cpp.o"
+  "CMakeFiles/essex_esse.dir/analysis.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/convergence.cpp.o"
+  "CMakeFiles/essex_esse.dir/convergence.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/cycle.cpp.o"
+  "CMakeFiles/essex_esse.dir/cycle.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/differ.cpp.o"
+  "CMakeFiles/essex_esse.dir/differ.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/error_subspace.cpp.o"
+  "CMakeFiles/essex_esse.dir/error_subspace.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/perturbation.cpp.o"
+  "CMakeFiles/essex_esse.dir/perturbation.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/smoother.cpp.o"
+  "CMakeFiles/essex_esse.dir/smoother.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/subspace_io.cpp.o"
+  "CMakeFiles/essex_esse.dir/subspace_io.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/tangent.cpp.o"
+  "CMakeFiles/essex_esse.dir/tangent.cpp.o.d"
+  "CMakeFiles/essex_esse.dir/verification.cpp.o"
+  "CMakeFiles/essex_esse.dir/verification.cpp.o.d"
+  "libessex_esse.a"
+  "libessex_esse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_esse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/chol.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/chol.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/chol.cpp.o.d"
+  "/root/repo/src/linalg/eig_sym.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/eig_sym.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/eig_sym.cpp.o.d"
+  "/root/repo/src/linalg/lowrank.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/lowrank.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/lowrank.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/parallel_kernels.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/parallel_kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/parallel_kernels.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/stats.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/stats.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/stats.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/essex_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/essex_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

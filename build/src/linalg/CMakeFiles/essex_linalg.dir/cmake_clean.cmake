@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_linalg.dir/chol.cpp.o"
+  "CMakeFiles/essex_linalg.dir/chol.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/eig_sym.cpp.o"
+  "CMakeFiles/essex_linalg.dir/eig_sym.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/lowrank.cpp.o"
+  "CMakeFiles/essex_linalg.dir/lowrank.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/essex_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/parallel_kernels.cpp.o"
+  "CMakeFiles/essex_linalg.dir/parallel_kernels.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/qr.cpp.o"
+  "CMakeFiles/essex_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/stats.cpp.o"
+  "CMakeFiles/essex_linalg.dir/stats.cpp.o.d"
+  "CMakeFiles/essex_linalg.dir/svd.cpp.o"
+  "CMakeFiles/essex_linalg.dir/svd.cpp.o.d"
+  "libessex_linalg.a"
+  "libessex_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

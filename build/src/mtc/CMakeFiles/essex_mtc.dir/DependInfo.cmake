@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtc/autoscaler.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/autoscaler.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/autoscaler.cpp.o.d"
+  "/root/repo/src/mtc/cloud.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/cloud.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/cloud.cpp.o.d"
+  "/root/repo/src/mtc/cluster.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/cluster.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/cluster.cpp.o.d"
+  "/root/repo/src/mtc/glidein.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/glidein.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/glidein.cpp.o.d"
+  "/root/repo/src/mtc/grid_site.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/grid_site.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/grid_site.cpp.o.d"
+  "/root/repo/src/mtc/job.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/job.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/job.cpp.o.d"
+  "/root/repo/src/mtc/output_transfer.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/output_transfer.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/output_transfer.cpp.o.d"
+  "/root/repo/src/mtc/scheduler.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/scheduler.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mtc/sim.cpp" "src/mtc/CMakeFiles/essex_mtc.dir/sim.cpp.o" "gcc" "src/mtc/CMakeFiles/essex_mtc.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_mtc.dir/autoscaler.cpp.o"
+  "CMakeFiles/essex_mtc.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/cloud.cpp.o"
+  "CMakeFiles/essex_mtc.dir/cloud.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/cluster.cpp.o"
+  "CMakeFiles/essex_mtc.dir/cluster.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/glidein.cpp.o"
+  "CMakeFiles/essex_mtc.dir/glidein.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/grid_site.cpp.o"
+  "CMakeFiles/essex_mtc.dir/grid_site.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/job.cpp.o"
+  "CMakeFiles/essex_mtc.dir/job.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/output_transfer.cpp.o"
+  "CMakeFiles/essex_mtc.dir/output_transfer.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/scheduler.cpp.o"
+  "CMakeFiles/essex_mtc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/essex_mtc.dir/sim.cpp.o"
+  "CMakeFiles/essex_mtc.dir/sim.cpp.o.d"
+  "libessex_mtc.a"
+  "libessex_mtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_mtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

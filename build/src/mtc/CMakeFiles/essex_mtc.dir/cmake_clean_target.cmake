@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libessex_mtc.a"
+)

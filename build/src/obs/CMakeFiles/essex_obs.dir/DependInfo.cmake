@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/drifters.cpp" "src/obs/CMakeFiles/essex_obs.dir/drifters.cpp.o" "gcc" "src/obs/CMakeFiles/essex_obs.dir/drifters.cpp.o.d"
+  "/root/repo/src/obs/instruments.cpp" "src/obs/CMakeFiles/essex_obs.dir/instruments.cpp.o" "gcc" "src/obs/CMakeFiles/essex_obs.dir/instruments.cpp.o.d"
+  "/root/repo/src/obs/observation.cpp" "src/obs/CMakeFiles/essex_obs.dir/observation.cpp.o" "gcc" "src/obs/CMakeFiles/essex_obs.dir/observation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/essex_ocean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_obs.dir/drifters.cpp.o"
+  "CMakeFiles/essex_obs.dir/drifters.cpp.o.d"
+  "CMakeFiles/essex_obs.dir/instruments.cpp.o"
+  "CMakeFiles/essex_obs.dir/instruments.cpp.o.d"
+  "CMakeFiles/essex_obs.dir/observation.cpp.o"
+  "CMakeFiles/essex_obs.dir/observation.cpp.o.d"
+  "libessex_obs.a"
+  "libessex_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

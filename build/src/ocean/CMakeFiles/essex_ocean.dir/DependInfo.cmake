@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocean/forcing.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/forcing.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/forcing.cpp.o.d"
+  "/root/repo/src/ocean/grid.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/grid.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/grid.cpp.o.d"
+  "/root/repo/src/ocean/model.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/model.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/model.cpp.o.d"
+  "/root/repo/src/ocean/monterey.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/monterey.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/monterey.cpp.o.d"
+  "/root/repo/src/ocean/state.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/state.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/state.cpp.o.d"
+  "/root/repo/src/ocean/state_io.cpp" "src/ocean/CMakeFiles/essex_ocean.dir/state_io.cpp.o" "gcc" "src/ocean/CMakeFiles/essex_ocean.dir/state_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

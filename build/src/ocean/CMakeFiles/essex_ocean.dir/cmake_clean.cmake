@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_ocean.dir/forcing.cpp.o"
+  "CMakeFiles/essex_ocean.dir/forcing.cpp.o.d"
+  "CMakeFiles/essex_ocean.dir/grid.cpp.o"
+  "CMakeFiles/essex_ocean.dir/grid.cpp.o.d"
+  "CMakeFiles/essex_ocean.dir/model.cpp.o"
+  "CMakeFiles/essex_ocean.dir/model.cpp.o.d"
+  "CMakeFiles/essex_ocean.dir/monterey.cpp.o"
+  "CMakeFiles/essex_ocean.dir/monterey.cpp.o.d"
+  "CMakeFiles/essex_ocean.dir/state.cpp.o"
+  "CMakeFiles/essex_ocean.dir/state.cpp.o.d"
+  "CMakeFiles/essex_ocean.dir/state_io.cpp.o"
+  "CMakeFiles/essex_ocean.dir/state_io.cpp.o.d"
+  "libessex_ocean.a"
+  "libessex_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/augmentation.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/augmentation.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/augmentation.cpp.o.d"
+  "/root/repo/src/workflow/covariance_files.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/covariance_files.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/covariance_files.cpp.o.d"
+  "/root/repo/src/workflow/esse_workflow_sim.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/esse_workflow_sim.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/esse_workflow_sim.cpp.o.d"
+  "/root/repo/src/workflow/parallel_runner.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/parallel_runner.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/parallel_runner.cpp.o.d"
+  "/root/repo/src/workflow/realtime_driver.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/realtime_driver.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/realtime_driver.cpp.o.d"
+  "/root/repo/src/workflow/timeline.cpp" "src/workflow/CMakeFiles/essex_workflow.dir/timeline.cpp.o" "gcc" "src/workflow/CMakeFiles/essex_workflow.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/essex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/essex_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/essex_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/essex_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/esse/CMakeFiles/essex_esse.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtc/CMakeFiles/essex_mtc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

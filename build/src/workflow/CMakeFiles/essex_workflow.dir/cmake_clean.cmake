@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essex_workflow.dir/augmentation.cpp.o"
+  "CMakeFiles/essex_workflow.dir/augmentation.cpp.o.d"
+  "CMakeFiles/essex_workflow.dir/covariance_files.cpp.o"
+  "CMakeFiles/essex_workflow.dir/covariance_files.cpp.o.d"
+  "CMakeFiles/essex_workflow.dir/esse_workflow_sim.cpp.o"
+  "CMakeFiles/essex_workflow.dir/esse_workflow_sim.cpp.o.d"
+  "CMakeFiles/essex_workflow.dir/parallel_runner.cpp.o"
+  "CMakeFiles/essex_workflow.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/essex_workflow.dir/realtime_driver.cpp.o"
+  "CMakeFiles/essex_workflow.dir/realtime_driver.cpp.o.d"
+  "CMakeFiles/essex_workflow.dir/timeline.cpp.o"
+  "CMakeFiles/essex_workflow.dir/timeline.cpp.o.d"
+  "libessex_workflow.a"
+  "libessex_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essex_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acoustics.dir/test_acoustics.cpp.o"
+  "CMakeFiles/test_acoustics.dir/test_acoustics.cpp.o.d"
+  "test_acoustics"
+  "test_acoustics.pdb"
+  "test_acoustics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

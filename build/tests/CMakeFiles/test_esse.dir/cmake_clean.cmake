@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esse.dir/test_esse.cpp.o"
+  "CMakeFiles/test_esse.dir/test_esse.cpp.o.d"
+  "test_esse"
+  "test_esse.pdb"
+  "test_esse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glidein.dir/test_glidein.cpp.o"
+  "CMakeFiles/test_glidein.dir/test_glidein.cpp.o.d"
+  "test_glidein"
+  "test_glidein.pdb"
+  "test_glidein[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glidein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

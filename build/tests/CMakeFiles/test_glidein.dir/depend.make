@@ -1,0 +1,2 @@
+# Empty dependencies file for test_glidein.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_drifters.dir/test_io_drifters.cpp.o"
+  "CMakeFiles/test_io_drifters.dir/test_io_drifters.cpp.o.d"
+  "test_io_drifters"
+  "test_io_drifters.pdb"
+  "test_io_drifters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_drifters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

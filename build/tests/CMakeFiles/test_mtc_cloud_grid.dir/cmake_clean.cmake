@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtc_cloud_grid.dir/test_mtc_cloud_grid.cpp.o"
+  "CMakeFiles/test_mtc_cloud_grid.dir/test_mtc_cloud_grid.cpp.o.d"
+  "test_mtc_cloud_grid"
+  "test_mtc_cloud_grid.pdb"
+  "test_mtc_cloud_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtc_cloud_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

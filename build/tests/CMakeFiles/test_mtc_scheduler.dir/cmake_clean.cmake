@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtc_scheduler.dir/test_mtc_scheduler.cpp.o"
+  "CMakeFiles/test_mtc_scheduler.dir/test_mtc_scheduler.cpp.o.d"
+  "test_mtc_scheduler"
+  "test_mtc_scheduler.pdb"
+  "test_mtc_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtc_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtc_sim.dir/test_mtc_sim.cpp.o"
+  "CMakeFiles/test_mtc_sim.dir/test_mtc_sim.cpp.o.d"
+  "test_mtc_sim"
+  "test_mtc_sim.pdb"
+  "test_mtc_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

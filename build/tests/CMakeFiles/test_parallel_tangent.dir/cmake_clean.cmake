@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_tangent.dir/test_parallel_tangent.cpp.o"
+  "CMakeFiles/test_parallel_tangent.dir/test_parallel_tangent.cpp.o.d"
+  "test_parallel_tangent"
+  "test_parallel_tangent.pdb"
+  "test_parallel_tangent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_tangent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_real.dir/test_workflow_real.cpp.o"
+  "CMakeFiles/test_workflow_real.dir/test_workflow_real.cpp.o.d"
+  "test_workflow_real"
+  "test_workflow_real.pdb"
+  "test_workflow_real[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

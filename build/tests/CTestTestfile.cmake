@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_ocean[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
+include("/root/repo/build/tests/test_esse[1]_include.cmake")
+include("/root/repo/build/tests/test_acoustics[1]_include.cmake")
+include("/root/repo/build/tests/test_mtc_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mtc_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_mtc_cloud_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_real[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_verification_realtime[1]_include.cmake")
+include("/root/repo/build/tests/test_io_drifters[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_tangent[1]_include.cmake")
+include("/root/repo/build/tests/test_glidein[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
