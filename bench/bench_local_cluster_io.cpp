@@ -3,9 +3,14 @@
 //
 // Paper:  all-local I/O  ≈ 77 min;   mixed (NFS inputs) ≈ 86 min;
 //         pert CPU utilisation jumps from ≈20 % to ≈100 % with prestaging.
+//
+// Every number reported below is read back out of the telemetry session
+// recorded by the instrumented scheduler/driver; the full sessions land
+// machine-readable in results/bench_local_cluster_io.telemetry.json.
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/telemetry.hpp"
 #include "mtc/cluster.hpp"
 #include "mtc/scheduler.hpp"
 #include "mtc/sim.hpp"
@@ -15,7 +20,7 @@ int main() {
   using namespace essex;
   using namespace essex::workflow;
 
-  auto run_mode = [](mtc::InputStaging staging) {
+  auto run_mode = [](mtc::InputStaging staging, telemetry::Sink& sink) {
     EsseWorkflowConfig cfg;
     cfg.shape = mtc::EsseJobShape{};  // calibrated (Table 1 local row)
     cfg.staging = staging;
@@ -25,37 +30,51 @@ int main() {
     cfg.svd_stride = 50;
     cfg.pool_headroom = 1.0;  // the paper ran exactly 600 members
     cfg.master_node = 117;  // head node
+    cfg.sink = &sink;
     mtc::Simulator sim;
     mtc::ClusterScheduler sched(sim, mtc::make_home_cluster(15),
                                 mtc::sge_params());
-    return run_parallel_esse(sim, sched, cfg);
+    run_parallel_esse(sim, sched, cfg);
   };
 
-  const WorkflowMetrics local = run_mode(mtc::InputStaging::kPrestageLocal);
-  const WorkflowMetrics nfs = run_mode(mtc::InputStaging::kNfsDirect);
-  const WorkflowMetrics dap = run_mode(mtc::InputStaging::kOpenDapRemote);
+  telemetry::Sink local("prestage-local"), nfs("nfs-direct"),
+      dap("opendap-remote");
+  run_mode(mtc::InputStaging::kPrestageLocal, local);
+  run_mode(mtc::InputStaging::kNfsDirect, nfs);
+  run_mode(mtc::InputStaging::kOpenDapRemote, dap);
 
   Table t("sec 5.2.1: 600 members, 210 free cores — I/O staging study");
   t.set_header({"staging", "makespan (min)", "paper (min)",
                 "pert cpu util", "paper util", "NFS GB moved"});
-  t.add_row({"prestage-local", Table::num(local.makespan_s / 60.0, 1), "77",
-             Table::num(100 * local.pert_cpu_utilization, 0) + "%", "~100%",
-             Table::num(local.nfs_bytes_moved / 1e9, 1)});
-  t.add_row({"nfs-direct", Table::num(nfs.makespan_s / 60.0, 1), "86",
-             Table::num(100 * nfs.pert_cpu_utilization, 0) + "%", "~20%",
-             Table::num(nfs.nfs_bytes_moved / 1e9, 1)});
-  t.add_row({"opendap-remote", Table::num(dap.makespan_s / 60.0, 1),
-             "'less desirable'",
-             Table::num(100 * dap.pert_cpu_utilization, 0) + "%", "-",
-             Table::num(dap.nfs_bytes_moved / 1e9, 1)});
+  auto add = [&t](const telemetry::Sink& s, const std::string& paper_min,
+                  const std::string& paper_util) {
+    const telemetry::MetricsRegistry& m = s.metrics();
+    t.add_row({s.name(), Table::num(m.value("workflow.makespan_s") / 60.0, 1),
+               paper_min,
+               Table::num(100 * m.value("workflow.pert_cpu_utilization"), 0) +
+                   "%",
+               paper_util,
+               Table::num(m.value("workflow.nfs_bytes_moved") / 1e9, 1)});
+  };
+  add(local, "77", "~100%");
+  add(nfs, "86", "~20%");
+  add(dap, "'less desirable'", "-");
   t.print(std::cout);
   t.write_csv("bench_local_cluster_io.csv");
+  telemetry::write_sessions_json("results/bench_local_cluster_io.telemetry.json",
+                                 {&local, &nfs, &dap});
 
+  const double local_makespan = local.metrics().value("workflow.makespan_s");
+  const double nfs_makespan = nfs.metrics().value("workflow.makespan_s");
   std::cout << "\nslowdown of NFS-direct vs prestaged: "
-            << Table::num(nfs.makespan_s / local.makespan_s, 3)
+            << Table::num(nfs_makespan / local_makespan, 3)
             << "x (paper: 86/77 = 1.117x)\n";
-  std::cout << "members completed: " << local.members_completed << " / "
-            << nfs.members_completed << ", svd runs: " << local.svd_runs
-            << " / " << nfs.svd_runs << "\n";
+  std::cout << "members completed: "
+            << local.metrics().value("workflow.members_completed") << " / "
+            << nfs.metrics().value("workflow.members_completed")
+            << ", svd runs: " << local.metrics().value("workflow.svd_runs")
+            << " / " << nfs.metrics().value("workflow.svd_runs") << "\n";
+  std::cout << "telemetry sessions: results/bench_local_cluster_io"
+               ".telemetry.json\n";
   return 0;
 }

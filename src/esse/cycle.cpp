@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace essex::esse {
@@ -89,7 +90,17 @@ ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
       if (differ.count() >= 2) {
         ErrorSubspace sub = differ.subspace(params.variance_fraction,
                                             params.max_rank);
-        conv.update(sub, differ.count());
+        const auto rho = conv.update(sub, differ.count());
+        if (params.sink) {
+          // Convergence samples as a metric stream: t is the ensemble
+          // size the estimate used, value the similarity coefficient ρ.
+          params.sink->count("esse.convergence_checks");
+          if (rho) {
+            params.sink->event("esse.convergence",
+                               static_cast<double>(differ.count()), *rho);
+            params.sink->observe("esse.similarity", *rho);
+          }
+        }
         if (conv.converged()) break;
       }
     }
@@ -103,6 +114,13 @@ ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
   out.members_run = differ.count();
   out.converged = conv.converged();
   out.convergence_history = conv.history();
+  if (params.sink) {
+    params.sink->count("esse.members_run",
+                       static_cast<double>(out.members_run));
+    params.sink->gauge_set("esse.converged", out.converged ? 1.0 : 0.0);
+    params.sink->gauge_set("esse.subspace_rank",
+                           static_cast<double>(out.forecast_subspace.rank()));
+  }
   return out;
 }
 

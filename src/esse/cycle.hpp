@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "esse/analysis.hpp"
@@ -17,6 +19,10 @@
 #include "esse/perturbation.hpp"
 #include "obs/observation.hpp"
 #include "ocean/model.hpp"
+
+namespace essex::telemetry {
+class Sink;
+}
 
 namespace essex::esse {
 
@@ -31,15 +37,32 @@ struct CycleParams {
   std::size_t check_interval = 8;  ///< members between SVD/convergence tests
   std::size_t threads = 1;        ///< worker threads for member runs
   bool stochastic_members = true;  ///< members feel model noise (dη)
+  /// Optional telemetry sink (nullable, not owned): the forecast loop
+  /// streams `esse.convergence` events (t = ensemble size, value = ρ) and
+  /// `esse.*` counters into it.
+  telemetry::Sink* sink = nullptr;
 };
 
-/// Outcome of the uncertainty-forecast stage.
+/// MTC execution accounting attached to a forecast by task-parallel
+/// runners (workflow::run_parallel_forecast); absent for the serial
+/// block-synchronous driver.
+struct MtcAccounting {
+  std::size_t members_submitted = 0;  ///< pool size M issued (M ≥ N)
+  std::size_t members_cancelled = 0;  ///< killed on convergence (§4.1)
+  std::size_t svd_runs = 0;           ///< decoupled SVD invocations
+  std::uint64_t store_versions = 0;   ///< covariance snapshots promoted
+};
+
+/// Outcome of the uncertainty-forecast stage. The single forecast result
+/// type for both the block-synchronous driver and the MTC runner: the
+/// latter additionally fills `mtc`.
 struct ForecastResult {
   la::Vector central_forecast;      ///< packed central (unperturbed) run
   ErrorSubspace forecast_subspace;  ///< dominant forecast error modes
   std::size_t members_run = 0;
   bool converged = false;
   std::vector<ConvergenceTest::Sample> convergence_history;
+  std::optional<MtcAccounting> mtc;  ///< set by MTC runners only
 };
 
 /// Run the ensemble uncertainty forecast: integrate the central state and

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace essex::mtc {
 
@@ -123,6 +124,9 @@ AutoscaleResult run_autoscaled_batch(const EsseJobShape& shape,
         fleet->instances.push_back(inst);
         ++fleet->boots;
         fleet->sim.at(inst.usable_at, [fleet] { fleet->start_jobs(); });
+        if (params.sink)
+          params.sink->event("autoscaler.boot", fleet->sim.now(),
+                             static_cast<double>(fleet->live_instances()));
       }
       fleet->peak = std::max(fleet->peak, fleet->live_instances());
     }
@@ -138,6 +142,9 @@ AutoscaleResult run_autoscaled_batch(const EsseJobShape& shape,
       if (fleet->live_instances() <= params.min_instances) break;
       inst.terminated = true;
       inst.terminated_at = fleet->sim.now();
+      if (params.sink)
+        params.sink->event("autoscaler.terminate", fleet->sim.now(),
+                           static_cast<double>(fleet->live_instances()));
     }
 
     fleet->sim.after(params.poll_interval_s, poll);
@@ -162,6 +169,19 @@ AutoscaleResult run_autoscaled_batch(const EsseJobShape& shape,
   out.cost_usd = hours * params.instance.price_per_hour;
   out.mean_busy_instances =
       makespan > 0 ? fleet->busy_integral / makespan : 0;
+  if (params.sink) {
+    telemetry::Sink& sink = *params.sink;
+    sink.count("autoscaler.boots", static_cast<double>(out.boots));
+    sink.count("autoscaler.members_done",
+               static_cast<double>(out.members_done));
+    sink.gauge_set("autoscaler.makespan_s", out.makespan_s);
+    sink.gauge_set("autoscaler.cost_usd", out.cost_usd);
+    sink.gauge_set("autoscaler.instance_hours", out.instance_hours);
+    sink.gauge_set("autoscaler.peak_instances",
+                   static_cast<double>(out.peak_instances));
+    sink.gauge_set("autoscaler.mean_busy_instances",
+                   out.mean_busy_instances);
+  }
   return out;
 }
 

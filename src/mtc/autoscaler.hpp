@@ -20,6 +20,10 @@
 #include "mtc/job.hpp"
 #include "mtc/sim.hpp"
 
+namespace essex::telemetry {
+class Sink;
+}
+
 namespace essex::mtc {
 
 struct AutoscalerParams {
@@ -30,6 +34,11 @@ struct AutoscalerParams {
   double poll_interval_s = 60.0;   ///< demand evaluation cadence
   /// Boot one instance per this many queued-but-unserved jobs.
   std::size_t jobs_per_instance_boot = 8;
+  /// Optional telemetry sink (nullable, not owned): records the
+  /// `autoscaler.*` series — boot/terminate events with the live fleet
+  /// size (simulated time), plus the AutoscaleResult summary as
+  /// counters/gauges.
+  telemetry::Sink* sink = nullptr;
 };
 
 /// Outcome of one autoscaled (or fixed-fleet) batch.

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "mtc/sim.hpp"
 
 namespace essex::mtc {
@@ -19,13 +20,20 @@ struct Replay {
   std::size_t wan_flows = 0;
   std::size_t peak_wan_flows = 0;
   std::vector<double> home_at;  // per member
+  telemetry::Sink* sink = nullptr;
 
   void wan_transfer(double bytes, std::size_t member,
                     Simulator::Callback done) {
     ++wan_flows;
     peak_wan_flows = std::max(peak_wan_flows, wan_flows);
+    if (sink)
+      sink->event("output.wan_flows", sim.now(),
+                  static_cast<double>(wan_flows));
     wan->start_transfer(bytes, [this, member, done = std::move(done)] {
       --wan_flows;
+      if (sink)
+        sink->event("output.wan_flows", sim.now(),
+                    static_cast<double>(wan_flows));
       if (member != static_cast<std::size_t>(-1))
         home_at[member] = sim.now();
       if (done) done();
@@ -79,6 +87,7 @@ OutputReturnMetrics simulate_output_return(
   rp.site_fs = std::make_unique<BandwidthResource>(
       rp.sim, config.site_fs_bps, "site-fs");
   rp.home_at.assign(n, 0.0);
+  rp.sink = config.sink;
 
   std::deque<std::size_t> ready;
   std::vector<std::unique_ptr<AgentChannel>> channels;
@@ -141,6 +150,16 @@ OutputReturnMetrics simulate_output_return(
   m.mean_latency_s = latency_sum / static_cast<double>(n);
   m.peak_concurrent_wan = rp.peak_wan_flows;
   m.gateway_busy_s = rp.wan->busy_seconds();
+  if (config.sink) {
+    telemetry::Sink& sink = *config.sink;
+    for (std::size_t i = 0; i < n; ++i)
+      sink.observe("output.latency_s", rp.home_at[i] - completion_times_s[i]);
+    sink.count("output.files", static_cast<double>(n));
+    sink.gauge_set("output.all_home_s", m.all_home_s);
+    sink.gauge_set("output.peak_concurrent_wan",
+                   static_cast<double>(m.peak_concurrent_wan));
+    sink.gauge_set("output.gateway_busy_s", m.gateway_busy_s);
+  }
   return m;
 }
 

@@ -20,6 +20,10 @@
 
 #include "mtc/job.hpp"
 
+namespace essex::telemetry {
+class Sink;
+}
+
 namespace essex::mtc {
 
 struct OutputReturnConfig {
@@ -32,6 +36,11 @@ struct OutputReturnConfig {
   double connection_setup_s = 1.0;
   /// Pull/two-stage agents move files over this many parallel streams.
   std::size_t agent_streams = 4;
+  /// Optional telemetry sink (nullable, not owned): records the
+  /// `output.*` series — per-file `output.latency_s` histogram, a
+  /// `output.wan_flows` event stream (gateway burstiness over simulated
+  /// time) and the summary gauges of OutputReturnMetrics.
+  telemetry::Sink* sink = nullptr;
 };
 
 struct OutputReturnMetrics {

@@ -26,6 +26,10 @@
 #include "mtc/job.hpp"
 #include "mtc/sim.hpp"
 
+namespace essex::telemetry {
+class Sink;
+}
+
 namespace essex::mtc {
 
 class ClusterScheduler;
@@ -148,6 +152,22 @@ class ClusterScheduler {
   Simulator& sim() { return sim_; }
   const SchedulerParams& params() const { return params_; }
 
+  /// Attach a telemetry sink (nullable). The scheduler then records
+  /// `sched.*` counters (jobs submitted/dispatched/done/failed/cancelled,
+  /// cpu/io seconds), histograms (`sched.queue_wait_s`,
+  /// `sched.job_utilisation`, `sched.negotiation_wait_s` under Condor
+  /// dispatch) and a `sched.queue_depth` gauge + event stream, all
+  /// stamped with simulated time.
+  void set_telemetry(telemetry::Sink* sink) { telem_ = sink; }
+  telemetry::Sink* telemetry() const { return telem_; }
+
+  /// Core-seconds occupied by this scheduler's jobs so far (integral of
+  /// held cores over simulated time, up to now). Divide by elapsed time ×
+  /// schedulable_cores() for fleet utilisation.
+  double busy_core_seconds() const;
+  /// Cores not permanently reserved by other users.
+  std::size_t schedulable_cores() const { return schedulable_cores_; }
+
   /// Aggregate utilisation statistics per job kind are derived by the
   /// caller from records(); the scheduler only keeps raw lifecycles.
 
@@ -164,6 +184,8 @@ class ClusterScheduler {
   std::optional<std::size_t> find_node_for(std::size_t cores) const;
   void release_cores(std::size_t node_index, std::size_t cores);
   void job_done(JobId id, JobStatus status);
+  void advance_occupancy();
+  void note_queue_depth();
 
   Simulator& sim_;
   ClusterSpec cluster_;
@@ -183,6 +205,11 @@ class ClusterScheduler {
   Rng rng_;
   bool negotiation_scheduled_ = false;
   SimTime submit_ready_at_ = 0.0;  // master busy until (submit overheads)
+  telemetry::Sink* telem_ = nullptr;
+  std::size_t schedulable_cores_ = 0;
+  std::size_t held_cores_ = 0;           // cores held by our jobs, now
+  double busy_core_seconds_ = 0.0;       // ∫ held_cores dt
+  SimTime occupancy_since_ = 0.0;
 };
 
 }  // namespace essex::mtc

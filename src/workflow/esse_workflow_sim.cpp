@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace essex::workflow {
 
@@ -137,6 +138,35 @@ void fill_common_metrics(const ClusterScheduler& sched,
       util_n ? util_sum / static_cast<double>(util_n) : 0;
 }
 
+/// Publish the workflow's §5 figures into the telemetry session so the
+/// benches/tests read them out of recorded metrics, not driver fields.
+void publish_workflow_metrics(telemetry::Sink* sink,
+                              const ClusterScheduler& sched,
+                              const WorkflowMetrics& m) {
+  if (!sink) return;
+  sink->gauge_set("workflow.makespan_s", m.makespan_s);
+  sink->gauge_set("workflow.converged", m.converged ? 1.0 : 0.0);
+  sink->gauge_set("workflow.converged_at_s", m.converged_at_s);
+  sink->gauge_set("workflow.deadline_hit", m.deadline_hit ? 1.0 : 0.0);
+  sink->gauge_set("workflow.pert_cpu_utilization", m.pert_cpu_utilization);
+  sink->gauge_set("workflow.wasted_cpu_seconds", m.wasted_cpu_seconds);
+  sink->gauge_set("workflow.svd_idle_wait_s", m.svd_idle_wait_s);
+  sink->count("workflow.members_completed",
+              static_cast<double>(m.members_completed));
+  sink->count("workflow.members_cancelled",
+              static_cast<double>(m.members_cancelled));
+  sink->count("workflow.members_failed",
+              static_cast<double>(m.members_failed));
+  sink->count("workflow.members_diffed",
+              static_cast<double>(m.members_diffed));
+  sink->count("workflow.svd_runs", static_cast<double>(m.svd_runs));
+  sink->count("workflow.nfs_bytes_moved", m.nfs_bytes_moved);
+  const double denom =
+      m.makespan_s * static_cast<double>(sched.schedulable_cores());
+  sink->gauge_set("workflow.core_utilisation",
+                  denom > 0 ? sched.busy_core_seconds() / denom : 0.0);
+}
+
 // ---- serial driver (Fig. 3) --------------------------------------------
 
 struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
@@ -161,6 +191,7 @@ struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
   }
 
   void start() {
+    if (cfg.sink) sched.set_telemetry(cfg.sink);
     round_target = cfg.initial_members;
     launch_round();
   }
@@ -202,6 +233,9 @@ struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
   void svd_stage() {
     // Fig. 3 bottleneck 3: the SVD waits for the diff loop.
     ++metrics.svd_runs;
+    if (cfg.sink)
+      cfg.sink->event("workflow.svd_run", sim.now(),
+                      static_cast<double>(diffed_total));
     auto self = shared_from_this();
     sim.after(cfg.shape.svd_seconds(diffed_total, head_speed(sched, cfg)),
               [self] { self->convergence_stage(); });
@@ -212,6 +246,9 @@ struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
     if (diffed_total >= cfg.converge_at) {
       metrics.converged = true;
       metrics.converged_at_s = sim.now();
+      if (cfg.sink)
+        cfg.sink->event("workflow.converged", sim.now(),
+                        static_cast<double>(diffed_total));
       finish();
       return;
     }
@@ -234,6 +271,7 @@ struct SerialDriver : std::enable_shared_from_this<SerialDriver> {
     sched.set_completion_hook(nullptr);
     fill_common_metrics(sched, member_jobs, env->stats, metrics);
     metrics.nfs_bytes_moved = sched.nfs().bytes_moved();
+    publish_workflow_metrics(cfg.sink, sched, metrics);
   }
 };
 
@@ -269,6 +307,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   }
 
   void start() {
+    if (cfg.sink) sched.set_telemetry(cfg.sink);
     target = cfg.initial_members;
     next_check = std::min(cfg.svd_stride, target);
     auto self = shared_from_this();
@@ -345,6 +384,9 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     svd_busy = true;
     const std::size_t n = diffed;  // the "safe file" snapshot
     ++metrics.svd_runs;
+    if (cfg.sink)
+      cfg.sink->event("workflow.svd_run", sim.now(),
+                      static_cast<double>(n));
     auto self = shared_from_this();
     sim.after(cfg.shape.svd_seconds(n, head_speed(sched, cfg)), [self, n] {
       self->svd_busy = false;
@@ -363,6 +405,9 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     if (n >= cfg.converge_at) {
       metrics.converged = true;
       metrics.converged_at_s = sim.now();
+      if (cfg.sink)
+        cfg.sink->event("workflow.converged", sim.now(),
+                        static_cast<double>(n));
       apply_cancel_policy();
       return;
     }
@@ -377,6 +422,9 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
           cfg.max_members,
           static_cast<std::size_t>(
               std::ceil(static_cast<double>(target) * cfg.growth)));
+      if (cfg.sink)
+        cfg.sink->event("workflow.pool_grown", sim.now(),
+                        static_cast<double>(target));
       submit_up_to_pool();
     }
     poke_svd();
@@ -439,6 +487,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     sched.set_completion_hook(nullptr);
     fill_common_metrics(sched, member_jobs, env->stats, metrics);
     metrics.nfs_bytes_moved = sched.nfs().bytes_moved();
+    publish_workflow_metrics(cfg.sink, sched, metrics);
   }
 };
 

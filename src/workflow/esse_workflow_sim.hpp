@@ -26,6 +26,10 @@
 #include "mtc/scheduler.hpp"
 #include "mtc/sim.hpp"
 
+namespace essex::telemetry {
+class Sink;
+}
+
 namespace essex::workflow {
 
 /// What to do with in-flight members once converged (§4.1).
@@ -53,6 +57,13 @@ struct EsseWorkflowConfig {
   double deadline_s = 0.0;
   /// Index of the master/head node (runs differ + SVD).
   std::size_t master_node = 0;
+  /// Optional telemetry sink (nullable, not owned). The driver attaches
+  /// it to the scheduler (`sched.*` series) and records the `workflow.*`
+  /// metrics the §5 benches report — makespan, pert CPU utilisation,
+  /// member counts, SVD runs, NFS bytes, core utilisation — plus
+  /// `workflow.svd_run` / `workflow.converged` event streams in
+  /// simulated time.
+  telemetry::Sink* sink = nullptr;
 };
 
 /// Everything the benches report.

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace essex::workflow {
@@ -30,26 +31,32 @@ la::Vector run_member(const ocean::OceanModel& model,
 
 }  // namespace
 
-ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
-                                        const ocean::OceanState& initial,
-                                        const esse::ErrorSubspace& subspace,
-                                        double t0_hours,
-                                        const ParallelRunnerConfig& config) {
-  const esse::CycleParams& cp = config.cycle;
+esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
+  const ParallelRunnerConfig& config = request.config;
+  esse::CycleParams cp = config.cycle;
   ESSEX_REQUIRE(config.pool_headroom >= 1.0, "pool headroom must be >= 1");
   ESSEX_REQUIRE(config.svd_min_new_members >= 1,
                 "svd stride must be >= 1");
+  telemetry::Sink* sink = request.sink;
+  // The numerics stream their convergence samples into the same session
+  // unless the caller routed them elsewhere explicitly.
+  if (sink && !cp.sink) cp.sink = sink;
 
-  const la::Vector packed_initial = initial.pack();
-  ESSEX_REQUIRE(packed_initial.size() == subspace.dim(),
+  const ocean::OceanModel& model = request.model;
+  const la::Vector packed_initial = request.initial.pack();
+  ESSEX_REQUIRE(packed_initial.size() == request.subspace.dim(),
                 "initial subspace does not match the state dimension");
+  const double t0_hours = request.t0_hours;
 
   // Central forecast first (also what the differ normalises against).
-  la::Vector central = run_member(model, packed_initial, t0_hours,
-                                  cp.forecast_hours, false,
-                                  cp.perturbation.seed, 0);
+  la::Vector central;
+  {
+    telemetry::ScopedTimer timer(sink, "runner.central_s");
+    central = run_member(model, packed_initial, t0_hours,
+                         cp.forecast_hours, false, cp.perturbation.seed, 0);
+  }
 
-  esse::PerturbationGenerator pert(subspace, cp.perturbation);
+  esse::PerturbationGenerator pert(request.subspace, cp.perturbation);
   esse::Differ differ(central);
   esse::ConvergenceTest conv(cp.convergence);
   esse::EnsembleSizeController sizer(cp.ensemble);
@@ -61,17 +68,20 @@ ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
   std::size_t since_snapshot = 0;
 
   ThreadPool pool(std::max<std::size_t>(cp.threads, 1));
-  ParallelRunResult out;
+  esse::ForecastResult out;
+  esse::MtcAccounting acct;
   std::size_t submitted = 0;
 
   auto submit_member = [&](std::size_t id) {
     pool.submit([&, id](const std::atomic<bool>& stop) {
       if (stop.load(std::memory_order_relaxed)) return;
+      telemetry::ScopedTimer timer(sink, "runner.member_s");
       la::Vector x0 = pert.perturbed_state(packed_initial, id);
       la::Vector xf = run_member(model, x0, t0_hours, cp.forecast_hours,
                                  cp.stochastic_members, cp.perturbation.seed,
                                  id);
       differ.add_member(id, xf);
+      if (sink) sink->count("runner.members_run");
       bool promote = false;
       {
         std::lock_guard<std::mutex> lk(mu);
@@ -87,6 +97,7 @@ ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
       if (promote) {
         store.update(
             [&](esse::SpreadSnapshot& s) { s = differ.snapshot(); });
+        if (sink) sink->count("runner.store_promotes");
       }
       cv.notify_all();
     });
@@ -99,6 +110,11 @@ ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
         std::max(sizer.target(),
                  std::min(m, cp.ensemble.max_members));
     while (submitted < cap) submit_member(submitted++);
+    if (sink) {
+      sink->gauge_set("runner.pool_size", static_cast<double>(submitted));
+      sink->event("runner.pool_size", telemetry::wall_seconds(),
+                  static_cast<double>(submitted));
+    }
   };
 
   fill_pool();
@@ -116,12 +132,17 @@ ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
     if (snap.version != last_version && snap.data &&
         snap.data->anomalies.cols() >= 2) {
       last_version = snap.version;
-      ++out.svd_runs;
+      ++acct.svd_runs;
+      telemetry::ScopedTimer timer(sink, "runner.svd_s");
       const la::ThinSvd svd =
           la::svd_thin(snap.data->anomalies, la::SvdMethod::kGram);
       esse::ErrorSubspace sub = esse::ErrorSubspace::from_svd(
           svd.u, svd.s, cp.variance_fraction, cp.max_rank);
-      conv.update(sub, snap.data->anomalies.cols());
+      const auto rho = conv.update(sub, snap.data->anomalies.cols());
+      if (sink && rho) {
+        sink->event("runner.convergence",
+                    static_cast<double>(snap.data->anomalies.cols()), *rho);
+      }
       if (conv.converged()) {
         pool.cancel_pending();  // §4.1: cancel the remaining members
         break;
@@ -141,15 +162,26 @@ ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
   }
   pool.wait_idle();
 
-  out.forecast.central_forecast = std::move(central);
-  out.forecast.forecast_subspace =
+  out.central_forecast = std::move(central);
+  out.forecast_subspace =
       differ.subspace(cp.variance_fraction, cp.max_rank);
-  out.forecast.members_run = differ.count();
-  out.forecast.converged = conv.converged();
-  out.forecast.convergence_history = conv.history();
-  out.members_submitted = submitted;
-  out.members_cancelled = submitted - differ.count();
-  out.store_versions = store.version();
+  out.members_run = differ.count();
+  out.converged = conv.converged();
+  out.convergence_history = conv.history();
+  acct.members_submitted = submitted;
+  acct.members_cancelled = submitted - differ.count();
+  acct.store_versions = store.version();
+  if (sink) {
+    sink->count("runner.members_submitted",
+                static_cast<double>(acct.members_submitted));
+    sink->count("runner.members_cancelled",
+                static_cast<double>(acct.members_cancelled));
+    sink->count("runner.svd_runs", static_cast<double>(acct.svd_runs));
+    sink->gauge_set("runner.store_versions",
+                    static_cast<double>(acct.store_versions));
+    sink->gauge_set("runner.converged", out.converged ? 1.0 : 0.0);
+  }
+  out.mtc = acct;
   return out;
 }
 

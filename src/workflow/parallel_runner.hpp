@@ -18,6 +18,10 @@
 #include "ocean/model.hpp"
 #include "workflow/covariance_store.hpp"
 
+namespace essex::telemetry {
+class Sink;
+}
+
 namespace essex::workflow {
 
 /// Configuration of the real parallel runner (numerics shared with
@@ -28,20 +32,26 @@ struct ParallelRunnerConfig {
   std::size_t svd_min_new_members = 4;  ///< snapshot stride for the SVD
 };
 
-/// Result mirrors esse::ForecastResult plus MTC accounting.
-struct ParallelRunResult {
-  esse::ForecastResult forecast;
-  std::size_t members_submitted = 0;
-  std::size_t members_cancelled = 0;
-  std::size_t svd_runs = 0;
-  std::uint64_t store_versions = 0;  ///< covariance snapshots promoted
+/// Everything one forecast invocation needs, in one place: adding a knob
+/// here no longer ripples through every example/test/bench call site.
+/// The referenced model/state/subspace must outlive the call.
+struct ForecastRequest {
+  const ocean::OceanModel& model;
+  const ocean::OceanState& initial;
+  const esse::ErrorSubspace& subspace;
+  double t0_hours = 0.0;
+  ParallelRunnerConfig config{};
+  /// Optional telemetry sink (nullable, not owned). The runner records
+  /// `runner.*` counters/histograms with wall-clock spans for member and
+  /// SVD work, and forwards it to the numerics (`esse.*` convergence
+  /// stream) unless `config.cycle.sink` is already set.
+  telemetry::Sink* sink = nullptr;
 };
 
 /// Run the uncertainty forecast with the Fig. 4 pipeline on real threads.
-ParallelRunResult run_parallel_forecast(const ocean::OceanModel& model,
-                                        const ocean::OceanState& initial,
-                                        const esse::ErrorSubspace& subspace,
-                                        double t0_hours,
-                                        const ParallelRunnerConfig& config);
+/// Returns the unified forecast result; `result.mtc` carries the MTC
+/// accounting (pool size, cancellations, SVD runs, store versions) fed by
+/// the recorded metrics.
+esse::ForecastResult run_parallel_forecast(const ForecastRequest& request);
 
 }  // namespace essex::workflow

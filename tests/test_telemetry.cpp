@@ -1,0 +1,343 @@
+// Unit tests for the telemetry layer (metric primitives, recorder,
+// sinks, exporters) plus the §5 acceptance tests: the paper's headline
+// numbers must be readable out of recorded telemetry, not just out of
+// the drivers' return structs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/telemetry.hpp"
+#include "mtc/cluster.hpp"
+#include "mtc/scheduler.hpp"
+#include "mtc/sim.hpp"
+#include "workflow/esse_workflow_sim.hpp"
+
+namespace essex::telemetry {
+namespace {
+
+// ---- primitives ---------------------------------------------------------------
+
+TEST(Counter, AccumulatesAcrossThreads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000.0);
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 40002.5);
+}
+
+TEST(Gauge, LastWriteWinsAndAdds) {
+  Gauge g;
+  g.set(7.0);
+  EXPECT_EQ(g.value(), 7.0);
+  g.set(3.0);
+  EXPECT_EQ(g.value(), 3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, SummaryStatsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, SummaryKeepsCountingPastSampleCap) {
+  Histogram h;
+  const std::size_t n = Histogram::kMaxSamples + 100;
+  for (std::size_t i = 0; i < n; ++i) h.observe(1.0);
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+}
+
+TEST(Histogram, ConcurrentObserversDontLoseSamples) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 5000; ++i) h.observe(2.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 20000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 40000.0);
+}
+
+// ---- registry -----------------------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("jobs");
+  Counter& b = reg.counter("jobs");
+  EXPECT_EQ(&a, &b);
+  a.add(3.0);
+  EXPECT_EQ(reg.value("jobs"), 3.0);
+  reg.gauge("depth").set(9.0);
+  EXPECT_EQ(reg.value("depth"), 9.0);
+  reg.histogram("wait").observe(1.0);
+  EXPECT_EQ(reg.histogram_at("wait").count(), 1u);
+  EXPECT_TRUE(reg.has("jobs"));
+  EXPECT_TRUE(reg.has("wait"));
+  EXPECT_FALSE(reg.has("nope"));
+}
+
+TEST(MetricsRegistry, MissingNameThrowsInsteadOfReadingZero) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.value("misspelt"), PreconditionError);
+  EXPECT_THROW(reg.histogram_at("misspelt"), PreconditionError);
+}
+
+TEST(MetricsRegistry, NamesAreSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.gauge("g");
+  reg.histogram("h");
+  EXPECT_EQ(reg.counter_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(reg.gauge_names(), (std::vector<std::string>{"g"}));
+  EXPECT_EQ(reg.histogram_names(), (std::vector<std::string>{"h"}));
+}
+
+TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerMetric) {
+  MetricsRegistry reg;
+  reg.counter("done").add(5.0);
+  reg.gauge("util").set(0.5);
+  reg.histogram("wait").observe(2.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,count,value,mean,min,max,p50,p95"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,done,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,util,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,wait,"), std::string::npos);
+}
+
+// ---- recorder -----------------------------------------------------------------
+
+TEST(Recorder, EventsAndSpansRoundTrip) {
+  Recorder rec;
+  rec.event("dispatch", 1.0, 42.0);
+  rec.event("dispatch", 2.0, 43.0);
+  const std::uint64_t id = rec.begin_span("svd", 3.0);
+  rec.end_span(id, 5.0);
+  const std::uint64_t open = rec.begin_span("member", 4.0);
+  (void)open;  // intentionally left open
+
+  EXPECT_EQ(rec.event_count(), 2u);
+  EXPECT_EQ(rec.span_count(), 2u);
+  const auto events = rec.events();
+  EXPECT_EQ(events[0].name, "dispatch");
+  EXPECT_EQ(events[1].value, 43.0);
+  const auto spans = rec.spans();
+  EXPECT_EQ(spans[0].name, "svd");
+  EXPECT_DOUBLE_EQ(spans[0].begin, 3.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 5.0);
+  EXPECT_LT(spans[1].end, spans[1].begin);  // still open
+}
+
+TEST(Recorder, ConcurrentAppendsAreComplete) {
+  Recorder rec;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < 2000; ++i)
+        rec.event("e", static_cast<double>(t), static_cast<double>(i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.event_count(), 8000u);
+}
+
+// ---- sink + exporters ---------------------------------------------------------
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() / "essex_telemetry_test";
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Sink, WritesJsonWithMetricsEventsAndSpans) {
+  TempDir tmp;
+  Sink sink("unit");
+  sink.count("jobs", 3.0);
+  sink.gauge_set("util", 0.25);
+  sink.observe("wait_s", 1.5);
+  sink.event("dispatch", 10.0, 7.0);
+  {
+    ScopedTimer timer(&sink, "phase_s");
+  }
+  const std::string path = tmp.file("nested/dir/session.json");
+  sink.write_json(path);  // creates parent directories
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"session\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"util\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_s\""), std::string::npos);
+  // The ScopedTimer also fed the histogram of the same name.
+  EXPECT_EQ(sink.metrics().histogram_at("phase_s").count(), 1u);
+}
+
+TEST(Sink, WritesMetricsAndEventsCsv) {
+  TempDir tmp;
+  Sink sink("csv");
+  sink.count("done", 2.0);
+  sink.event("tick", 1.0, 0.5);
+  sink.write_metrics_csv(tmp.file("metrics.csv"));
+  sink.write_events_csv(tmp.file("events.csv"));
+  EXPECT_NE(slurp(tmp.file("metrics.csv")).find("counter,done,"),
+            std::string::npos);
+  const std::string events = slurp(tmp.file("events.csv"));
+  EXPECT_NE(events.find("t,name,value"), std::string::npos);
+  EXPECT_NE(events.find("tick"), std::string::npos);
+}
+
+TEST(Sessions, MultipleSinksLandInOneJsonArray) {
+  TempDir tmp;
+  Sink a("sge");
+  Sink b("condor");
+  a.count("jobs", 1.0);
+  b.count("jobs", 2.0);
+  const std::string path = tmp.file("sessions.json");
+  write_sessions_json(path, {&a, &b});
+  const std::string json = slurp(path);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"sge\""), std::string::npos);
+  EXPECT_NE(json.find("\"condor\""), std::string::npos);
+  EXPECT_LT(json.find("\"sge\""), json.find("\"condor\""));
+}
+
+TEST(ScopedTimer, NullSinkIsANoOp) {
+  ScopedTimer timer(nullptr, "nothing");  // must not crash
+}
+
+// ---- §5 acceptance: paper numbers out of recorded telemetry -------------------
+
+// The full-size workload from the benches: 600 members on the 15-rack
+// home cluster (210 free cores), converging exactly at 600.
+workflow::EsseWorkflowConfig paper_config(Sink* sink) {
+  workflow::EsseWorkflowConfig cfg;
+  cfg.shape = mtc::EsseJobShape{};
+  cfg.staging = mtc::InputStaging::kPrestageLocal;
+  cfg.initial_members = 600;
+  cfg.converge_at = 600;
+  cfg.max_members = 600;
+  cfg.svd_stride = 50;
+  cfg.pool_headroom = 1.0;
+  cfg.master_node = 117;
+  cfg.sink = sink;
+  return cfg;
+}
+
+workflow::WorkflowMetrics run_paper_workflow(Sink* sink,
+                                             mtc::InputStaging staging,
+                                             mtc::SchedulerParams params) {
+  workflow::EsseWorkflowConfig cfg = paper_config(sink);
+  cfg.staging = staging;
+  mtc::Simulator sim;
+  mtc::ClusterScheduler sched(sim, mtc::make_home_cluster(15), params);
+  return workflow::run_parallel_esse(sim, sched, cfg);
+}
+
+TEST(PaperAcceptance, PertUtilisationLowOnNfsHighWhenPrestaged) {
+  // §5.2.1(a): "pert CPU utilisation jumps from ≈20 % to ≈100 % with
+  // prestaging". Assert it from the scheduler/workflow telemetry, not
+  // from the driver's return struct.
+  Sink local("prestage-local");
+  Sink nfs("nfs-direct");
+  run_paper_workflow(&local, mtc::InputStaging::kPrestageLocal,
+                     mtc::sge_params());
+  run_paper_workflow(&nfs, mtc::InputStaging::kNfsDirect,
+                     mtc::sge_params());
+
+  const double util_local =
+      local.metrics().value("workflow.pert_cpu_utilization");
+  const double util_nfs = nfs.metrics().value("workflow.pert_cpu_utilization");
+  EXPECT_GT(util_local, 0.95);  // ≈100 % prestaged
+  EXPECT_GT(util_nfs, 0.02);
+  EXPECT_LT(util_nfs, 0.25);    // ≈20 % over contended NFS
+  // NFS staging moves the input volume over the shared server.
+  EXPECT_GT(nfs.metrics().value("workflow.nfs_bytes_moved"),
+            local.metrics().value("workflow.nfs_bytes_moved"));
+  // The scheduler series must have recorded the full batch.
+  EXPECT_GE(local.metrics().value("sched.jobs_done"), 600.0);
+  EXPECT_GT(local.metrics().histogram_at("sched.queue_wait_s").count(), 0u);
+  EXPECT_GT(local.metrics().value("workflow.core_utilisation"), 0.0);
+  EXPECT_LE(local.metrics().value("workflow.core_utilisation"), 1.0);
+}
+
+TEST(PaperAcceptance, CondorRunsTenToTwentyPercentBehindSge) {
+  // §5.2.1(b): "Timings under Condor were between 10−20% slower" — the
+  // negotiation-cycle wait, visible both in the makespan gauges and in
+  // the recorded per-job negotiation waits.
+  Sink sge("sge");
+  run_paper_workflow(&sge, mtc::InputStaging::kPrestageLocal,
+                     mtc::sge_params());
+  const double sge_makespan = sge.metrics().value("workflow.makespan_s");
+  ASSERT_GT(sge_makespan, 0.0);
+
+  Sink condor240("condor-240");
+  Sink condor360("condor-360");
+  run_paper_workflow(&condor240, mtc::InputStaging::kPrestageLocal,
+                     mtc::condor_params(240.0));
+  run_paper_workflow(&condor360, mtc::InputStaging::kPrestageLocal,
+                     mtc::condor_params(360.0));
+
+  const double r240 =
+      condor240.metrics().value("workflow.makespan_s") / sge_makespan;
+  const double r360 =
+      condor360.metrics().value("workflow.makespan_s") / sge_makespan;
+  EXPECT_GT(r240, 1.05);
+  EXPECT_LT(r240, 1.20);
+  EXPECT_GT(r360, 1.10);
+  EXPECT_LT(r360, 1.25);
+  // Only the Condor sessions accumulate negotiation waits.
+  EXPECT_GT(condor240.metrics().histogram_at("sched.negotiation_wait_s")
+                .count(),
+            0u);
+  EXPECT_GT(condor240.metrics().value("sched.negotiation_cycles"), 0.0);
+  EXPECT_FALSE(sge.metrics().has("sched.negotiation_wait_s"));
+}
+
+}  // namespace
+}  // namespace essex::telemetry

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "esse/cycle.hpp"
 #include "ocean/monterey.hpp"
 #include "workflow/covariance_store.hpp"
@@ -111,12 +112,13 @@ TEST_F(RunnerFixture, ProducesConvergedForecastSubspace) {
   cfg.cycle.convergence = {0.90, 6};
   cfg.cycle.max_rank = 8;
   cfg.svd_min_new_members = 4;
-  ParallelRunResult res =
-      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
-  EXPECT_GT(res.forecast.members_run, 4u);
-  EXPECT_GT(res.forecast.forecast_subspace.rank(), 0u);
-  EXPECT_GT(res.store_versions, 0u);
-  EXPECT_GE(res.svd_runs, 1u);
+  esse::ForecastResult res = run_parallel_forecast(
+      ForecastRequest{*model, sc->initial, subspace, 0.0, cfg});
+  EXPECT_GT(res.members_run, 4u);
+  EXPECT_GT(res.forecast_subspace.rank(), 0u);
+  ASSERT_TRUE(res.mtc.has_value());
+  EXPECT_GT(res.mtc->store_versions, 0u);
+  EXPECT_GE(res.mtc->svd_runs, 1u);
 }
 
 TEST_F(RunnerFixture, MatchesBlockSynchronousDriverStatistically) {
@@ -134,13 +136,16 @@ TEST_F(RunnerFixture, MatchesBlockSynchronousDriverStatistically) {
   ParallelRunnerConfig cfg;
   cfg.cycle = cp;
   cfg.pool_headroom = 1.0;
-  ParallelRunResult mtc =
-      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
+  esse::ForecastResult mtc = run_parallel_forecast(
+      ForecastRequest{*model, sc->initial, subspace, 0.0, cfg});
 
   ASSERT_EQ(block.members_run, 16u);
-  ASSERT_EQ(mtc.forecast.members_run, 16u);
+  ASSERT_EQ(mtc.members_run, 16u);
+  // The block driver never attaches MTC accounting; the runner must.
+  EXPECT_FALSE(block.mtc.has_value());
+  ASSERT_TRUE(mtc.mtc.has_value());
   const double v1 = block.forecast_subspace.total_variance();
-  const double v2 = mtc.forecast.forecast_subspace.total_variance();
+  const double v2 = mtc.forecast_subspace.total_variance();
   EXPECT_NEAR(v1, v2, 0.2 * std::max(v1, v2));
 }
 
@@ -151,12 +156,24 @@ TEST_F(RunnerFixture, CancellationLeavesConsistentCounts) {
   cfg.cycle.ensemble = {8, 2.0, 64};
   cfg.cycle.convergence = {0.5, 4};  // converges almost immediately
   cfg.pool_headroom = 2.0;
-  ParallelRunResult res =
-      run_parallel_forecast(*model, sc->initial, subspace, 0.0, cfg);
-  EXPECT_EQ(res.members_submitted,
-            res.forecast.members_run + res.members_cancelled);
-  EXPECT_TRUE(res.forecast.converged);
-  EXPECT_GT(res.members_cancelled, 0u);
+  telemetry::Sink sink("runner-cancel");
+  ForecastRequest req{*model, sc->initial, subspace, 0.0, cfg};
+  req.sink = &sink;
+  esse::ForecastResult res = run_parallel_forecast(req);
+  ASSERT_TRUE(res.mtc.has_value());
+  EXPECT_EQ(res.mtc->members_submitted,
+            res.members_run + res.mtc->members_cancelled);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.mtc->members_cancelled, 0u);
+  // The telemetry session and the accounting agree — the accounting is
+  // fed by the same recorded metrics.
+  EXPECT_EQ(sink.metrics().value("runner.members_submitted"),
+            static_cast<double>(res.mtc->members_submitted));
+  EXPECT_EQ(sink.metrics().value("runner.members_cancelled"),
+            static_cast<double>(res.mtc->members_cancelled));
+  EXPECT_EQ(sink.metrics().value("runner.svd_runs"),
+            static_cast<double>(res.mtc->svd_runs));
+  EXPECT_GT(sink.metrics().histogram_at("runner.member_s").count(), 0u);
 }
 
 }  // namespace
