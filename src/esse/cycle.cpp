@@ -48,6 +48,7 @@ ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
 
   PerturbationGenerator pert(initial_subspace, params.perturbation);
   Differ differ(central);
+  differ.set_sink(params.sink);  // differ.* cache counters + check latency
   ConvergenceTest conv(params.convergence);
   EnsembleSizeController sizer(params.ensemble);
 

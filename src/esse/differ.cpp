@@ -2,11 +2,104 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
-#include "linalg/parallel_kernels.hpp"
+#include "common/telemetry.hpp"
+#include "linalg/eig_sym.hpp"
+#include "linalg/gram.hpp"
 
 namespace essex::esse {
+
+la::Matrix AnomalyView::materialize() const {
+  const std::size_t n = columns.size();
+  la::Matrix a(state_dim, n);
+  if (n == 0) return a;
+  const double scale =
+      n > 1 ? 1.0 / std::sqrt(static_cast<double>(n - 1)) : 1.0;
+  double* out = a.data().data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const la::Vector& col = *columns[j].anomaly;
+    for (std::size_t i = 0; i < state_dim; ++i)
+      out[i * n + j] = col[i] * scale;
+  }
+  return a;
+}
+
+la::Matrix AnomalyView::gram() const {
+  const std::size_t n = columns.size();
+  la::Matrix g(n, n);
+  const double scale = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const la::Vector& row = *columns[j].gram_row;
+    for (std::size_t i = 0; i <= j; ++i) {
+      const double v = row[i] * scale;
+      g(j, i) = v;
+      g(i, j) = v;
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> AnomalyView::member_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(columns.size());
+  for (const AnomalyColumn& c : columns) ids.push_back(c.member_id);
+  return ids;
+}
+
+ErrorSubspace subspace_from_view(const AnomalyView& view,
+                                 double variance_fraction,
+                                 std::size_t max_rank, ThreadPool* pool,
+                                 telemetry::Sink* sink) {
+  const std::size_t n = view.count();
+  const std::size_t m = view.state_dim;
+  ESSEX_REQUIRE(n >= 2, "need at least two members for a spread estimate");
+  const double t0 = sink ? telemetry::wall_seconds() : 0.0;
+
+  if (n > m) {
+    // Wide ensemble: the n×n Gram is larger than the m×m problem, so the
+    // cached borders buy nothing — dense from-scratch path.
+    if (sink) sink->count("differ.full_recomputes");
+    const la::ThinSvd svd =
+        la::svd_thin(view.materialize(), la::SvdMethod::kGram);
+    ErrorSubspace out =
+        ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
+    if (sink) {
+      sink->count("differ.subspace_checks");
+      sink->observe("differ.subspace_s", telemetry::wall_seconds() - t0);
+    }
+    return out;
+  }
+
+  // The n×n eigensolve over the cached Gram (no AᵀA rebuild) ...
+  const la::EigSym eig = la::eig_sym(view.gram());
+  la::Vector s(n);
+  for (std::size_t j = 0; j < n; ++j)
+    s[j] = std::sqrt(std::max(eig.eigenvalues[j], 0.0));
+
+  // ... then U = A·V·Σ⁻¹ over the retained modes only: truncating first
+  // turns the O(m·n²) recovery into O(m·n·r).
+  const std::size_t r =
+      ErrorSubspace::truncation_rank(s, variance_fraction, max_rank);
+  std::vector<const la::Vector*> cols;
+  cols.reserve(n);
+  for (const AnomalyColumn& c : view.columns) cols.push_back(c.anomaly.get());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n - 1));
+  la::Matrix u = la::columns_matmul(cols, eig.eigenvectors, r, scale, pool);
+  for (std::size_t j = 0; j < r; ++j) {
+    const double inv = (s[j] > 1e-300) ? 1.0 / s[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) u(i, j) *= inv;
+  }
+  la::Vector sig(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(r));
+  ErrorSubspace out(std::move(u), std::move(sig));
+  if (sink) {
+    sink->count("differ.subspace_checks");
+    sink->count("differ.gram_cols_reused", static_cast<double>(n));
+    sink->observe("differ.subspace_s", telemetry::wall_seconds() - t0);
+  }
+  return out;
+}
 
 Differ::Differ(la::Vector central) : central_(std::move(central)) {
   ESSEX_REQUIRE(!central_.empty(), "central forecast must be non-empty");
@@ -15,38 +108,136 @@ Differ::Differ(la::Vector central) : central_(std::move(central)) {
 void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
   ESSEX_REQUIRE(forecast.size() == central_.size(),
                 "member forecast dimension mismatch");
-  la::Vector anom(central_.size());
-  for (std::size_t i = 0; i < anom.size(); ++i)
-    anom[i] = forecast[i] - central_[i];
+  auto anom = std::make_shared<la::Vector>(central_.size());
+  for (std::size_t i = 0; i < anom->size(); ++i)
+    (*anom)[i] = forecast[i] - central_[i];
+
+  // Catch-up loop: the Gram border is computed outside the lock against
+  // whatever columns are already published (they are immutable), then the
+  // lock is retaken — if more members landed meanwhile, absorb their
+  // columns too and retry. Writers therefore only serialise for the O(1)
+  // append, never for the O(m·k) dot products.
+  la::Vector border;  // border[i] = aᵢ·anom for i < border.size()
+  std::uint64_t epoch = 0;
+  bool have_epoch = false;
+  std::size_t computed = 0;
+  for (;;) {
+    std::vector<std::shared_ptr<const la::Vector>> keep;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ESSEX_REQUIRE(member_id_set_.find(member_id) == member_id_set_.end(),
+                    "duplicate ensemble member id");
+      if (have_epoch && epoch != rewrite_epoch_) {
+        border.clear();  // a rewrite invalidated everything computed so far
+      }
+      epoch = rewrite_epoch_;
+      have_epoch = true;
+      if (columns_.size() == border.size()) {
+        border.push_back(la::dot(*anom, *anom));
+        AnomalyColumn col;
+        col.anomaly = std::move(anom);
+        col.gram_row = std::make_shared<const la::Vector>(std::move(border));
+        col.member_id = member_id;
+        columns_.push_back(std::move(col));
+        member_id_set_.insert(member_id);
+        ++version_;
+        break;
+      }
+      // Hold shared ownership while computing outside the lock: a
+      // concurrent rewrite_member may drop the store's own reference.
+      keep.reserve(columns_.size() - border.size());
+      for (std::size_t i = border.size(); i < columns_.size(); ++i)
+        keep.push_back(columns_[i].anomaly);
+    }
+    std::vector<const la::Vector*> ptrs;
+    ptrs.reserve(keep.size());
+    for (const auto& p : keep) ptrs.push_back(p.get());
+    const std::size_t old = border.size();
+    border.resize(old + ptrs.size());
+    la::gram_append(ptrs, *anom, border.data() + old);
+    computed += ptrs.size();
+  }
+  if (sink_)
+    sink_->count("differ.gram_cols_computed",
+                 static_cast<double>(computed + 1));
+}
+
+void Differ::rewrite_member(std::size_t member_id,
+                            const la::Vector& forecast) {
+  ESSEX_REQUIRE(forecast.size() == central_.size(),
+                "member forecast dimension mismatch");
+  auto anom = std::make_shared<const la::Vector>([&] {
+    la::Vector a(central_.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = forecast[i] - central_[i];
+    return a;
+  }());
+
   std::lock_guard<std::mutex> lk(mu_);
-  ESSEX_REQUIRE(std::find(member_ids_.begin(), member_ids_.end(),
-                          member_id) == member_ids_.end(),
-                "duplicate ensemble member id");
-  anomalies_.push_back(std::move(anom));
-  member_ids_.push_back(member_id);
+  auto it = std::find_if(columns_.begin(), columns_.end(),
+                         [&](const AnomalyColumn& c) {
+                           return c.member_id == member_id;
+                         });
+  ESSEX_REQUIRE(it != columns_.end(), "rewrite of an unknown member id");
+  it->anomaly = std::move(anom);
+  // Every later border row references the rewritten column: rebuild the
+  // whole cache. This is the documented full-recompute path (O(m·n²)).
+  std::vector<const la::Vector*> prefix;
+  prefix.reserve(columns_.size());
+  for (AnomalyColumn& col : columns_) {
+    la::Vector row(prefix.size() + 1);
+    la::gram_append(prefix, *col.anomaly, row.data());
+    row.back() = la::dot(*col.anomaly, *col.anomaly);
+    col.gram_row = std::make_shared<const la::Vector>(std::move(row));
+    prefix.push_back(col.anomaly.get());
+  }
+  ++version_;
+  ++rewrite_epoch_;
+  if (sink_) sink_->count("differ.full_rebuilds");
 }
 
 std::size_t Differ::count() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return anomalies_.size();
+  return columns_.size();
+}
+
+std::uint64_t Differ::version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return version_;
+}
+
+AnomalyView Differ::view(std::size_t prefix_cols) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t n = prefix_cols == 0 ? columns_.size() : prefix_cols;
+  ESSEX_REQUIRE(n <= columns_.size(),
+                "view prefix exceeds the columns absorbed so far");
+  AnomalyView v;
+  v.columns.assign(columns_.begin(),
+                   columns_.begin() + static_cast<std::ptrdiff_t>(n));
+  v.version = version_;
+  v.state_dim = central_.size();
+  return v;
 }
 
 SpreadSnapshot Differ::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  ESSEX_REQUIRE(anomalies_.size() >= 2,
+  const AnomalyView v = view();
+  ESSEX_REQUIRE(v.count() >= 2,
                 "need at least two members for a spread estimate");
   SpreadSnapshot snap;
-  snap.member_ids = member_ids_;
-  snap.anomalies = la::Matrix::from_columns(anomalies_);
-  const double scale =
-      1.0 / std::sqrt(static_cast<double>(anomalies_.size() - 1));
-  snap.anomalies *= scale;
+  snap.member_ids = v.member_ids();
+  snap.anomalies = v.materialize();
   return snap;
 }
 
 ErrorSubspace Differ::subspace(double variance_fraction, std::size_t max_rank,
                                la::SvdMethod method) const {
+  if (method == la::SvdMethod::kGram) {
+    return subspace_from_view(view(), variance_fraction, max_rank, nullptr,
+                              sink_);
+  }
+  // Jacobi: dense from-scratch decomposition, highest accuracy.
   const SpreadSnapshot snap = snapshot();
+  if (sink_) sink_->count("differ.full_recomputes");
   const la::ThinSvd svd = la::svd_thin(snap.anomalies, method);
   return ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
 }
@@ -54,9 +245,8 @@ ErrorSubspace Differ::subspace(double variance_fraction, std::size_t max_rank,
 ErrorSubspace Differ::subspace_parallel(ThreadPool& pool,
                                         double variance_fraction,
                                         std::size_t max_rank) const {
-  const SpreadSnapshot snap = snapshot();
-  const la::ThinSvd svd = la::svd_gram_parallel(snap.anomalies, pool);
-  return ErrorSubspace::from_svd(svd.u, svd.s, variance_fraction, max_rank);
+  return subspace_from_view(view(), variance_fraction, max_rank, &pool,
+                            sink_);
 }
 
 }  // namespace essex::esse

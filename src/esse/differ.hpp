@@ -6,22 +6,38 @@
 // the paper's fix for bottleneck 2). It is thread-safe so concurrent
 // executor workers can push results while SVD snapshots are taken.
 //
+// Since PR 2 the differ is *incremental* end to end. Anomaly columns are
+// append-only and individually immutable, and every absorbed member also
+// carries the new border of the growing Gram matrix AᵀA — the dot
+// products against all earlier columns, computed once at absorption time
+// (O(m·k)) instead of at every convergence check (O(m·n²)). A check is
+// then a small n×n symmetric eigensolve plus U = A·V over the retained
+// modes only.
+//
 // The covariance "file" semantics of the paper (safe copy + alternating
-// live pair) are modelled by snapshot(): the caller receives an immutable
-// copy of the anomaly matrix — the safe file — while the live matrix keeps
-// growing.
+// live pair) are modelled by view(): the caller receives a versioned,
+// copy-free column-prefix view over the shared column storage — O(n)
+// pointer copies, never an O(m·n) matrix copy — while the live store
+// keeps growing. snapshot() materialises a view into the legacy dense
+// SpreadSnapshot for consumers (smoother, verification) that want the
+// full matrix.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "esse/error_subspace.hpp"
-#include "linalg/lowrank.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
+
+namespace essex::telemetry {
+class Sink;
+}
 
 namespace essex::esse {
 
@@ -32,6 +48,51 @@ struct SpreadSnapshot {
   std::vector<std::size_t> member_ids;  ///< column → perturbation index
 };
 
+/// One absorbed member: the unnormalised anomaly column plus the border
+/// row of the Gram matrix linking it to every earlier column
+/// (gram_row[i] = aⱼ·aᵢ for i ≤ j, so gram_row.back() is the
+/// self-product). Both payloads are immutable once published; views
+/// share them without copying.
+struct AnomalyColumn {
+  std::shared_ptr<const la::Vector> anomaly;
+  std::shared_ptr<const la::Vector> gram_row;
+  std::size_t member_id = 0;
+};
+
+/// Versioned, copy-free column-prefix view over the differ's append-only
+/// column storage — the in-process analogue of the paper's "safe file".
+/// Copying a view copies n shared pointers, never the m×n payload, so
+/// promoting one through a TripleBufferStore costs O(n).
+struct AnomalyView {
+  std::vector<AnomalyColumn> columns;  ///< prefix, shared immutable payloads
+  std::uint64_t version = 0;  ///< differ version the prefix was cut from
+  std::size_t state_dim = 0;  ///< m
+
+  std::size_t count() const { return columns.size(); }
+
+  /// Materialise the normalised m×n anomaly matrix (1/√(n−1) scaling).
+  la::Matrix materialize() const;
+
+  /// Assemble the normalised n×n Gram matrix AᵀA from the cached border
+  /// rows — no O(m·n²) product, just O(n²) copies.
+  la::Matrix gram() const;
+
+  std::vector<std::size_t> member_ids() const;
+};
+
+/// Error subspace from a view via the cached-Gram method of snapshots:
+/// eigensolve of view.gram(), truncation to `variance_fraction` /
+/// `max_rank` (0 = no cap), then U = A·V over the retained modes only,
+/// optionally spread over `pool`. Falls back to the dense SVD when the
+/// ensemble is wider than the state (n > m), where the Gram trick buys
+/// nothing. `sink` (nullable) receives `differ.*` counters and the
+/// per-check `differ.subspace_s` latency histogram.
+ErrorSubspace subspace_from_view(const AnomalyView& view,
+                                 double variance_fraction = 0.99,
+                                 std::size_t max_rank = 0,
+                                 ThreadPool* pool = nullptr,
+                                 telemetry::Sink* sink = nullptr);
+
 /// Thread-safe accumulator of forecast anomalies about the central
 /// forecast.
 class Differ {
@@ -40,26 +101,48 @@ class Differ {
   /// taken about.
   explicit Differ(la::Vector central);
 
-  /// Absorb the forecast of member `member_id`. Any arrival order is
-  /// accepted; duplicate ids are rejected.
+  /// Attach a telemetry sink (nullable, not owned): gram-border and
+  /// subspace-check counters land in it. Set before worker threads
+  /// start; the pointer itself is not synchronised.
+  void set_sink(telemetry::Sink* sink) { sink_ = sink; }
+
+  /// Absorb the forecast of member `member_id`, computing the new Gram
+  /// border against all stored anomalies (O(m·k), outside the lock —
+  /// concurrent writers only serialise for the O(1) append). Any arrival
+  /// order is accepted; duplicate ids are rejected.
   void add_member(std::size_t member_id, const la::Vector& forecast);
+
+  /// Replace the forecast of an already-absorbed member (smoother-style
+  /// rewrite of a past column). Every later column's cached Gram border
+  /// references the old anomaly, so this is the one path that still pays
+  /// a full O(m·n²) Gram rebuild (DESIGN.md §8).
+  void rewrite_member(std::size_t member_id, const la::Vector& forecast);
 
   /// Number of members absorbed so far.
   std::size_t count() const;
 
-  /// Copy out the normalised anomaly matrix (the "safe file" the SVD
-  /// reads). Requires count() >= 2.
+  /// Monotone version: bumped by every add_member / rewrite_member.
+  std::uint64_t version() const;
+
+  /// Cut a copy-free view over the first `prefix_cols` columns
+  /// (0 = all columns currently absorbed).
+  AnomalyView view(std::size_t prefix_cols = 0) const;
+
+  /// Materialise the normalised anomaly matrix (the dense "safe file").
+  /// Requires count() >= 2.
   SpreadSnapshot snapshot() const;
 
-  /// Compute the error subspace from the current snapshot via thin SVD,
-  /// truncated to `variance_fraction` / `max_rank` (0 = no cap).
+  /// Compute the error subspace, truncated to `variance_fraction` /
+  /// `max_rank` (0 = no cap). kGram (the default) uses the incremental
+  /// cached-Gram path; kOneSidedJacobi forces the dense from-scratch
+  /// decomposition (highest accuracy, full price).
   ErrorSubspace subspace(double variance_fraction = 0.99,
                          std::size_t max_rank = 0,
                          la::SvdMethod method = la::SvdMethod::kGram) const;
 
-  /// Same, with the Gram products spread over `pool` — the in-process
-  /// analogue of the paper's shared-memory-parallel LAPACK SVD on the
-  /// master node.
+  /// Cached-Gram subspace with the U = A·V product spread over `pool` —
+  /// the in-process analogue of the paper's shared-memory-parallel
+  /// LAPACK SVD on the master node.
   ErrorSubspace subspace_parallel(ThreadPool& pool,
                                   double variance_fraction = 0.99,
                                   std::size_t max_rank = 0) const;
@@ -69,8 +152,11 @@ class Differ {
  private:
   la::Vector central_;
   mutable std::mutex mu_;
-  std::vector<la::Vector> anomalies_;  // unnormalised member − central
-  std::vector<std::size_t> member_ids_;
+  std::vector<AnomalyColumn> columns_;  // append-only shared storage
+  std::unordered_set<std::size_t> member_id_set_;
+  std::uint64_t version_ = 0;
+  std::uint64_t rewrite_epoch_ = 0;  // invalidates in-flight Gram borders
+  telemetry::Sink* sink_ = nullptr;  // nullable, not owned
 };
 
 }  // namespace essex::esse

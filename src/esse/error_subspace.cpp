@@ -20,10 +20,9 @@ ErrorSubspace::ErrorSubspace(la::Matrix modes, la::Vector sigmas)
   }
 }
 
-ErrorSubspace ErrorSubspace::from_svd(const la::Matrix& u, const la::Vector& s,
-                                      double variance_fraction,
-                                      std::size_t max_rank) {
-  ESSEX_REQUIRE(u.cols() == s.size(), "SVD factor shape mismatch");
+std::size_t ErrorSubspace::truncation_rank(const la::Vector& s,
+                                           double variance_fraction,
+                                           std::size_t max_rank) {
   ESSEX_REQUIRE(variance_fraction > 0.0 && variance_fraction <= 1.0,
                 "variance fraction must lie in (0,1]");
   double total = 0.0;
@@ -37,6 +36,14 @@ ErrorSubspace ErrorSubspace::from_svd(const la::Matrix& u, const la::Vector& s,
   if (max_rank > 0) k = std::min(k, max_rank);
   k = std::max<std::size_t>(k, 1);
   k = std::min(k, s.size());
+  return k;
+}
+
+ErrorSubspace ErrorSubspace::from_svd(const la::Matrix& u, const la::Vector& s,
+                                      double variance_fraction,
+                                      std::size_t max_rank) {
+  ESSEX_REQUIRE(u.cols() == s.size(), "SVD factor shape mismatch");
+  const std::size_t k = truncation_rank(s, variance_fraction, max_rank);
   la::Vector sig(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(k));
   return ErrorSubspace(u.first_cols(k), std::move(sig));
 }

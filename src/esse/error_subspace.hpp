@@ -32,6 +32,14 @@ class ErrorSubspace {
                                 double variance_fraction = 0.99,
                                 std::size_t max_rank = 0);
 
+  /// The rank from_svd would retain for singular values `s` (descending):
+  /// smallest k capturing `variance_fraction` of Σs², capped at
+  /// `max_rank` (0 = uncapped), at least 1. Exposed so callers that build
+  /// U incrementally can truncate *before* paying for the full U = A·V.
+  static std::size_t truncation_rank(const la::Vector& s,
+                                     double variance_fraction,
+                                     std::size_t max_rank);
+
   std::size_t dim() const { return modes_.rows(); }
   std::size_t rank() const { return sigmas_.size(); }
   bool empty() const { return sigmas_.empty(); }

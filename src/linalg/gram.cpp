@@ -1,0 +1,135 @@
+#include "linalg/gram.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "common/error.hpp"
+
+namespace essex::la {
+
+namespace {
+
+// Columns per block: eight accumulators fit comfortably in registers and
+// let one streaming pass over new_col feed eight dot products.
+constexpr std::size_t kColBlock = 8;
+
+// Serial blocked border over the column range [lo, hi).
+void gram_append_range(const std::vector<const Vector*>& cols,
+                       const Vector& new_col, double* out, std::size_t lo,
+                       std::size_t hi) {
+  const std::size_t m = new_col.size();
+  const double* x = new_col.data();
+  for (std::size_t b0 = lo; b0 < hi; b0 += kColBlock) {
+    const std::size_t b1 = std::min(hi, b0 + kColBlock);
+    const std::size_t width = b1 - b0;
+    const double* c[kColBlock] = {};
+    double acc[kColBlock] = {};
+    for (std::size_t w = 0; w < width; ++w) c[w] = cols[b0 + w]->data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = x[i];
+      for (std::size_t w = 0; w < width; ++w) acc[w] += c[w][i] * xi;
+    }
+    for (std::size_t w = 0; w < width; ++w) out[b0 + w] = acc[w];
+  }
+}
+
+}  // namespace
+
+void gram_append(const std::vector<const Vector*>& cols,
+                 const Vector& new_col, double* out, ThreadPool* pool) {
+  const std::size_t k = cols.size();
+  for (const Vector* c : cols) {
+    ESSEX_REQUIRE(c != nullptr && c->size() == new_col.size(),
+                  "gram_append column length mismatch");
+  }
+  if (k == 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || k < 2 * kColBlock) {
+    gram_append_range(cols, new_col, out, 0, k);
+    return;
+  }
+  // Hand whole column blocks to the workers; each block is independent.
+  const std::size_t blocks = (k + kColBlock - 1) / kColBlock;
+  const std::size_t chunks = std::min(blocks, pool->thread_count());
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  const std::size_t per = (blocks + chunks - 1) / chunks;
+  for (std::size_t c0 = 0; c0 < blocks; c0 += per) {
+    const std::size_t lo = c0 * kColBlock;
+    const std::size_t hi = std::min(k, (c0 + per) * kColBlock);
+    futs.push_back(pool->submit(
+        [&, lo, hi] { gram_append_range(cols, new_col, out, lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+Matrix gram_from_columns(const std::vector<const Vector*>& cols,
+                         double scale, ThreadPool* pool) {
+  const std::size_t n = cols.size();
+  Matrix g(n, n);
+  std::vector<const Vector*> prefix;
+  prefix.reserve(n);
+  Vector border(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ESSEX_REQUIRE(cols[j] != nullptr, "gram_from_columns null column");
+    gram_append(prefix, *cols[j], border.data(), pool);
+    {
+      const double* cj = cols[j]->data();
+      double acc = 0.0;
+      for (std::size_t i = 0; i < cols[j]->size(); ++i) acc += cj[i] * cj[i];
+      border[j] = acc;
+    }
+    for (std::size_t i = 0; i <= j; ++i) {
+      const double v = border[i] * scale;
+      g(j, i) = v;
+      g(i, j) = v;
+    }
+    prefix.push_back(cols[j]);
+  }
+  return g;
+}
+
+Matrix columns_matmul(const std::vector<const Vector*>& cols,
+                      const Matrix& v, std::size_t r, double scale,
+                      ThreadPool* pool) {
+  const std::size_t n = cols.size();
+  ESSEX_REQUIRE(v.rows() == n, "columns_matmul: V row count mismatch");
+  ESSEX_REQUIRE(r <= v.cols(), "columns_matmul: r exceeds V columns");
+  const std::size_t m = n ? cols.front()->size() : 0;
+  for (const Vector* c : cols) {
+    ESSEX_REQUIRE(c != nullptr && c->size() == m,
+                  "columns_matmul column length mismatch");
+  }
+  Matrix out(m, r);
+  if (m == 0 || r == 0) return out;
+
+  auto run_rows = [&](std::size_t lo, std::size_t hi) {
+    double* o = out.data().data();
+    const double* vd = v.data().data();
+    const std::size_t vcols = v.cols();
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* col = cols[c]->data();
+      const double* vrow = vd + c * vcols;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double a = col[i] * scale;
+        double* orow = o + i * r;
+        for (std::size_t j = 0; j < r; ++j) orow[j] += a * vrow[j];
+      }
+    }
+  };
+
+  const std::size_t threads = pool ? pool->thread_count() : 1;
+  if (pool == nullptr || threads <= 1 || m < 2 * threads) {
+    run_rows(0, m);
+    return out;
+  }
+  std::vector<std::future<void>> futs;
+  const std::size_t per = (m + threads - 1) / threads;
+  for (std::size_t lo = 0; lo < m; lo += per) {
+    const std::size_t hi = std::min(m, lo + per);
+    futs.push_back(pool->submit([&, lo, hi] { run_rows(lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+  return out;
+}
+
+}  // namespace essex::la

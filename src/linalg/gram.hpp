@@ -1,0 +1,47 @@
+// ESSEX: incremental Gram-matrix kernels over append-only column storage.
+//
+// The continuously-running differ (paper §4.1, Fig. 4) absorbs ensemble
+// members one at a time; the AᵀA product its method-of-snapshots SVD
+// needs therefore grows by exactly one symmetric border per member.
+// These kernels compute that border — the dot products of the new column
+// against every stored column — instead of rebuilding the whole n×n
+// product, so a convergence check over an append-only anomaly store
+// drops from O(m·n²) to a small n×n eigensolve plus U = A·V.
+//
+// Columns live as individually-owned contiguous vectors (the in-process
+// analogue of the paper's per-member result files), so every kernel here
+// takes a span of column pointers rather than a packed Matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "linalg/matrix.hpp"
+
+namespace essex::la {
+
+/// The new Gram border: out[i] = cols[i]·new_col for every stored
+/// column. Blocked over small groups of columns so `new_col` streams
+/// through cache once per group instead of once per column; with `pool`
+/// the groups are spread across the workers. `out` must hold
+/// cols.size() doubles. All columns must share new_col's length.
+void gram_append(const std::vector<const Vector*>& cols,
+                 const Vector& new_col, double* out,
+                 ThreadPool* pool = nullptr);
+
+/// Full symmetric Gram build G = scale · AᵀA over column storage (the
+/// forced-recompute path, e.g. after a smoother rewrites past columns):
+/// one blocked border per column, mirrored into the upper triangle.
+Matrix gram_from_columns(const std::vector<const Vector*>& cols,
+                         double scale = 1.0, ThreadPool* pool = nullptr);
+
+/// U = scale · A·V over column storage, first `r` columns of V only:
+/// out(i,j) = scale · Σ_c cols[c][i] · v(c,j) for j < r ≤ v.cols().
+/// v must have cols.size() rows. With `pool` the row dimension is
+/// partitioned across the workers.
+Matrix columns_matmul(const std::vector<const Vector*>& cols,
+                      const Matrix& v, std::size_t r, double scale = 1.0,
+                      ThreadPool* pool = nullptr);
+
+}  // namespace essex::la

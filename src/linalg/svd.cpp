@@ -26,12 +26,21 @@ std::size_t ThinSvd::rank(double rel_tol) const {
 
 namespace {
 
-// One-sided Jacobi on an m×n matrix with m >= n: rotate column pairs of
-// `a` until all pairs are orthogonal; accumulate rotations into V.
-ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
-  const std::size_t m = a.rows(), n = a.cols();
+// One-sided Jacobi on an m×n matrix with m >= n: rotate column pairs
+// until all pairs are orthogonal; accumulate rotations into V. The
+// rotations only ever touch whole columns, so both working copies are
+// kept column-major — every inner loop is a unit-stride walk instead of
+// an n-double stride through the row-major Matrix storage.
+ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
+  const std::size_t m = a_in.rows(), n = a_in.cols();
   ESSEX_ASSERT(m >= n, "jacobi_svd_tall requires m >= n");
-  Matrix v = Matrix::identity(n);
+
+  // Column-major working copies: column j of A at a[j*m], of V at v[j*n].
+  std::vector<double> a(m * n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a[j * m + i] = a_in(i, j);
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) v[j * n + j] = 1.0;
 
   const double eps = 1e-15;
   bool converged = (n <= 1);
@@ -39,9 +48,11 @@ ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
     converged = true;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
+        double* ap = a.data() + p * m;
+        double* aq = a.data() + q * m;
         double alpha = 0, beta = 0, gamma = 0;
         for (std::size_t i = 0; i < m; ++i) {
-          const double aip = a(i, p), aiq = a(i, q);
+          const double aip = ap[i], aiq = aq[i];
           alpha += aip * aip;
           beta += aiq * aiq;
           gamma += aip * aiq;
@@ -54,14 +65,16 @@ ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
         for (std::size_t i = 0; i < m; ++i) {
-          const double aip = a(i, p), aiq = a(i, q);
-          a(i, p) = c * aip - s * aiq;
-          a(i, q) = s * aip + c * aiq;
+          const double aip = ap[i], aiq = aq[i];
+          ap[i] = c * aip - s * aiq;
+          aq[i] = s * aip + c * aiq;
         }
+        double* vp = v.data() + p * n;
+        double* vq = v.data() + q * n;
         for (std::size_t i = 0; i < n; ++i) {
-          const double vip = v(i, p), viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
+          const double vip = vp[i], viq = vq[i];
+          vp[i] = c * vip - s * viq;
+          vq[i] = s * vip + c * viq;
         }
       }
     }
@@ -72,7 +85,12 @@ ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
 
   // Column norms of the rotated A are the singular values.
   Vector sv(n);
-  for (std::size_t j = 0; j < n; ++j) sv[j] = norm2(a.col(j));
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* aj = a.data() + j * m;
+    double acc = 0;
+    for (std::size_t i = 0; i < m; ++i) acc += aj[i] * aj[i];
+    sv[j] = std::sqrt(acc);
+  }
 
   // Sort descending.
   std::vector<std::size_t> order(n);
@@ -88,8 +106,10 @@ ThinSvd jacobi_svd_tall(Matrix a, int max_sweeps = 60) {
     const std::size_t o = order[j];
     out.s[j] = sv[o];
     const double inv = (sv[o] > 0) ? 1.0 / sv[o] : 0.0;
-    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = a(i, o) * inv;
-    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, o);
+    const double* ao = a.data() + o * m;
+    const double* vo = v.data() + o * n;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = ao[i] * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = vo[i];
   }
   return out;
 }

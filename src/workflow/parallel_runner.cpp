@@ -58,9 +58,10 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
 
   esse::PerturbationGenerator pert(request.subspace, cp.perturbation);
   esse::Differ differ(central);
+  differ.set_sink(sink);  // differ.* cache counters + check latency
   esse::ConvergenceTest conv(cp.convergence);
   esse::EnsembleSizeController sizer(cp.ensemble);
-  TripleBufferStore<esse::SpreadSnapshot> store;
+  TripleBufferStore<esse::AnomalyView> store;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -93,10 +94,12 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
         }
       }
       // Promote a new covariance snapshot through the triple-buffer
-      // store (the "safe file" the SVD reads).
+      // store (the "safe file" the SVD reads). Views are column-prefix
+      // handles over the differ's append-only storage, so a promote is
+      // O(n) pointer copies — writers never block behind an O(m·n)
+      // matrix copy.
       if (promote) {
-        store.update(
-            [&](esse::SpreadSnapshot& s) { s = differ.snapshot(); });
+        store.update([&](esse::AnomalyView& v) { v = differ.view(); });
         if (sink) sink->count("runner.store_promotes");
       }
       cv.notify_all();
@@ -130,18 +133,16 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
     }
     const auto snap = store.read();
     if (snap.version != last_version && snap.data &&
-        snap.data->anomalies.cols() >= 2) {
+        snap.data->count() >= 2) {
       last_version = snap.version;
       ++acct.svd_runs;
       telemetry::ScopedTimer timer(sink, "runner.svd_s");
-      const la::ThinSvd svd =
-          la::svd_thin(snap.data->anomalies, la::SvdMethod::kGram);
-      esse::ErrorSubspace sub = esse::ErrorSubspace::from_svd(
-          svd.u, svd.s, cp.variance_fraction, cp.max_rank);
-      const auto rho = conv.update(sub, snap.data->anomalies.cols());
+      esse::ErrorSubspace sub = esse::subspace_from_view(
+          *snap.data, cp.variance_fraction, cp.max_rank, nullptr, sink);
+      const auto rho = conv.update(sub, snap.data->count());
       if (sink && rho) {
         sink->event("runner.convergence",
-                    static_cast<double>(snap.data->anomalies.cols()), *rho);
+                    static_cast<double>(snap.data->count()), *rho);
       }
       if (conv.converged()) {
         pool.cancel_pending();  // §4.1: cancel the remaining members

@@ -13,11 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "esse/differ.hpp"
+#include "linalg/matrix.hpp"
 #include "workflow/covariance_store.hpp"
 
 namespace essex::workflow {
@@ -152,6 +155,126 @@ TEST(TripleBufferStoreConcurrency, WriterAlwaysSeesLatestAcrossThreads) {
   }
   for (std::size_t w = 0; w < kWriters; ++w)
     EXPECT_EQ(next[w], kPerWriter);
+}
+
+// ---- Differ: concurrent writers vs copy-free snapshots ---------------------
+//
+// The incremental differ replaces the O(m·n) deep copy under the mutex
+// with versioned column-prefix views over append-only shared storage.
+// These tests drive real concurrent writers against snapshot readers and
+// must run clean under -fsanitize=thread, like the TripleBufferStore
+// suite above.
+
+TEST(DifferConcurrency, ConcurrentWritersVsSnapshotReaders) {
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kPerWriter = 24;
+  constexpr std::size_t kDim = 96;
+  esse::Differ differ(la::Vector(kDim, 1.0));
+
+  auto forecast_for = [](std::size_t id) {
+    la::Vector x(kDim);
+    for (std::size_t i = 0; i < kDim; ++i)
+      x[i] = 1.0 + std::sin(static_cast<double>(id * kDim + i));
+    return x;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < kPerWriter; ++i) {
+        const std::size_t id = w * kPerWriter + i;
+        differ.add_member(id, forecast_for(id));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!stop.load()) {
+        if (differ.count() < 2) continue;
+        const esse::AnomalyView v = differ.view();
+        // Versions are monotone per reader, and a view is internally
+        // consistent: column j's cached border always spans 0..j.
+        if (v.version < last_version) ++violations;
+        last_version = v.version;
+        for (std::size_t j = 0; j < v.count(); ++j) {
+          if (v.columns[j].gram_row->size() != j + 1) ++violations;
+        }
+        // Spot-check the newest border row against the view's own
+        // columns (identical summation order ⇒ exact match).
+        const std::size_t j = v.count() - 1;
+        const la::Vector& row = *v.columns[j].gram_row;
+        const la::Vector& aj = *v.columns[j].anomaly;
+        const la::Vector& a0 = *v.columns[0].anomaly;
+        double acc = 0;
+        for (std::size_t i = 0; i < kDim; ++i) acc += a0[i] * aj[i];
+        if (row[0] != acc) ++violations;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  ASSERT_EQ(differ.count(), kWriters * kPerWriter);
+
+  // Final cache equals a from-scratch rebuild exactly: no border was
+  // dropped or computed against a stale prefix.
+  const esse::AnomalyView final_view = differ.view();
+  const la::Matrix a = final_view.materialize();
+  const la::Matrix explicit_gram = la::matmul_at_b(a, a);
+  EXPECT_NEAR((final_view.gram() - explicit_gram).max_abs(), 0.0, 1e-10);
+}
+
+TEST(DifferConcurrency, SnapshotsThroughTripleBufferWhileGrowing) {
+  // The runner's actual protocol: writers absorb members and promote
+  // views through the store; a reader computes subspaces from whatever
+  // safe snapshot is current.
+  constexpr std::size_t kDim = 48;
+  constexpr std::size_t kMembers = 60;
+  esse::Differ differ(la::Vector(kDim, 0.0));
+  TripleBufferStore<esse::AnomalyView> store;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t i = w; i < kMembers; i += 3) {
+        la::Vector x(kDim);
+        for (std::size_t k = 0; k < kDim; ++k)
+          x[k] = std::cos(static_cast<double>(i + 1) * (k + 1));
+        differ.add_member(i, x);
+        if (differ.count() >= 2)
+          store.update([&](esse::AnomalyView& v) { v = differ.view(); });
+      }
+    });
+  }
+  std::thread svd_reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load()) {
+      const auto snap = store.read();
+      if (!snap.data || snap.version == last || snap.data->count() < 2)
+        continue;
+      last = snap.version;
+      const esse::ErrorSubspace sub =
+          esse::subspace_from_view(*snap.data, 0.99, 8);
+      if (sub.rank() < 1 || sub.dim() != kDim) ++violations;
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  svd_reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(differ.count(), kMembers);
+  const auto final_snap = store.read();
+  ASSERT_TRUE(final_snap.data);
+  EXPECT_GE(final_snap.data->count(), 2u);
 }
 
 }  // namespace

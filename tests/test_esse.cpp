@@ -274,6 +274,143 @@ TEST(Differ, SubspaceRecoversPlantedCovariance) {
   EXPECT_NEAR(sub.sigmas()[0], 2.0, 0.5);
 }
 
+// ---- incremental Gram cache ------------------------------------------------------
+
+// Full-recompute reference: exactly what the pre-incremental pipeline did
+// at every check — deep-copy snapshot, from-scratch Gram SVD.
+ErrorSubspace from_scratch_subspace(const Differ& d, double vf,
+                                    std::size_t max_rank) {
+  const SpreadSnapshot snap = d.snapshot();
+  const la::ThinSvd svd = la::svd_thin(snap.anomalies, la::SvdMethod::kGram);
+  return ErrorSubspace::from_svd(svd.u, svd.s, vf, max_rank);
+}
+
+TEST(DifferIncremental, AgreesWithFromScratchAcrossInterleavedSequences) {
+  Rng rng(31);
+  const std::size_t m = 70;
+  la::Vector central = rng.normals(m);
+  Differ d(central);
+  std::size_t id = 0;
+  // Interleave add_member blocks with subspace checks, mixing truncation
+  // settings, like the continuously-running convergence loop does.
+  const std::size_t blocks[] = {2, 3, 5, 8, 13, 7};
+  const double fractions[] = {0.9, 0.99, 1.0, 0.95, 0.999, 0.99};
+  const std::size_t ranks[] = {0, 4, 0, 12, 3, 0};
+  for (std::size_t b = 0; b < 6; ++b) {
+    for (std::size_t k = 0; k < blocks[b]; ++k, ++id) {
+      la::Vector x = central;
+      for (auto& v : x) v += 0.7 * rng.normal();
+      d.add_member(id, x);
+    }
+    ErrorSubspace inc = d.subspace(fractions[b], ranks[b]);
+    ErrorSubspace full = from_scratch_subspace(d, fractions[b], ranks[b]);
+    ASSERT_EQ(inc.rank(), full.rank());
+    EXPECT_GE(subspace_similarity(inc, full), 1.0 - 1e-10);
+  }
+}
+
+TEST(DifferIncremental, ParallelPathAgreesWithFromScratch) {
+  Rng rng(32);
+  const std::size_t m = 90;
+  Differ d(la::Vector(m, 1.0));
+  for (std::size_t i = 0; i < 40; ++i) {
+    la::Vector x(m, 1.0);
+    for (auto& v : x) v += rng.normal();
+    d.add_member(i, x);
+  }
+  ThreadPool pool(3);
+  ErrorSubspace inc = d.subspace_parallel(pool, 0.999, 0);
+  ErrorSubspace full = from_scratch_subspace(d, 0.999, 0);
+  EXPECT_GE(subspace_similarity(inc, full), 1.0 - 1e-10);
+}
+
+TEST(DifferIncremental, PrefixViewMatchesSmallerEnsemble) {
+  Rng rng(33);
+  const std::size_t m = 50;
+  la::Vector central = rng.normals(m);
+  Differ grown(central);
+  Differ small(central);
+  for (std::size_t i = 0; i < 24; ++i) {
+    la::Vector x = central;
+    for (auto& v : x) v += 0.5 * rng.normal();
+    grown.add_member(i, x);
+    if (i < 10) small.add_member(i, x);
+  }
+  // A 10-column prefix view of the grown differ must reproduce the
+  // subspace of a differ that only ever saw those 10 members.
+  ErrorSubspace via_prefix = subspace_from_view(grown.view(10), 0.99, 0);
+  ErrorSubspace direct = small.subspace(0.99, 0);
+  ASSERT_EQ(via_prefix.rank(), direct.rank());
+  EXPECT_GE(subspace_similarity(via_prefix, direct), 1.0 - 1e-10);
+}
+
+TEST(DifferIncremental, ViewIsStableWhileDifferGrows) {
+  Differ d(la::Vector(4, 0.0));
+  d.add_member(0, {1, 0, 0, 0});
+  d.add_member(1, {0, 1, 0, 0});
+  const AnomalyView v = d.view();
+  const std::uint64_t version_at_cut = d.version();
+  d.add_member(2, {0, 0, 1, 0});
+  EXPECT_EQ(v.count(), 2u);  // the prefix view never sees later appends
+  EXPECT_EQ(v.version, version_at_cut);
+  EXPECT_LT(v.version, d.version());
+  const la::Matrix a = v.materialize();
+  EXPECT_EQ(a.cols(), 2u);
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-12);  // still normalised by √(2−1)
+}
+
+TEST(DifferIncremental, RewriteMemberForcesConsistentRebuild) {
+  Rng rng(34);
+  const std::size_t m = 40;
+  la::Vector central = rng.normals(m);
+  Differ d(central);
+  std::vector<la::Vector> forecasts;
+  for (std::size_t i = 0; i < 12; ++i) {
+    la::Vector x = central;
+    for (auto& v : x) v += rng.normal();
+    forecasts.push_back(x);
+    d.add_member(i, x);
+  }
+  // Smoother-style rewrite of a past column invalidates the cache.
+  for (auto& v : forecasts[3]) v += 2.0 * rng.normal();
+  const std::uint64_t before = d.version();
+  d.rewrite_member(3, forecasts[3]);
+  EXPECT_GT(d.version(), before);
+  EXPECT_THROW(d.rewrite_member(99, forecasts[3]), PreconditionError);
+
+  Differ fresh(central);
+  for (std::size_t i = 0; i < 12; ++i) fresh.add_member(i, forecasts[i]);
+  EXPECT_GE(subspace_similarity(d.subspace(1.0, 0), fresh.subspace(1.0, 0)),
+            1.0 - 1e-10);
+  // The rebuilt Gram borders must equal a freshly-computed cache exactly
+  // (same kernel, same summation order).
+  const la::Matrix g_rewritten = d.view().gram();
+  const la::Matrix g_fresh = fresh.view().gram();
+  EXPECT_NEAR((g_rewritten - g_fresh).max_abs(), 0.0, 1e-14);
+}
+
+TEST(DifferIncremental, WideEnsembleFallsBackToDense) {
+  // More members than state variables: n > m forces the dense path.
+  Rng rng(35);
+  const std::size_t m = 6;
+  Differ d(la::Vector(m, 0.0));
+  for (std::size_t i = 0; i < 15; ++i) d.add_member(i, rng.normals(m));
+  ErrorSubspace inc = d.subspace(0.999, 0);
+  ErrorSubspace full = from_scratch_subspace(d, 0.999, 0);
+  EXPECT_GE(subspace_similarity(inc, full), 1.0 - 1e-10);
+}
+
+TEST(DifferIncremental, CachedGramMatchesExplicitProduct) {
+  Rng rng(36);
+  const std::size_t m = 30;
+  Differ d(la::Vector(m, 0.0));
+  for (std::size_t i = 0; i < 9; ++i) d.add_member(i, rng.normals(m));
+  const AnomalyView v = d.view();
+  const la::Matrix a = v.materialize();
+  const la::Matrix explicit_gram = la::matmul_at_b(a, a);
+  EXPECT_NEAR((v.gram() - explicit_gram).max_abs(), 0.0, 1e-12);
+}
+
 // ---- convergence -------------------------------------------------------------------
 
 TEST(Convergence, ConvergesWhenSubspaceStopsRotating) {
