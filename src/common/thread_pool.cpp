@@ -46,6 +46,23 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return submit([t = std::move(task)](const std::atomic<bool>&) { t(); });
 }
 
+std::future<void> ThreadPool::submit(
+    std::function<void(const std::atomic<bool>&)> task, CancelToken token) {
+  ESSEX_REQUIRE(task != nullptr, "cannot submit an empty task");
+  ESSEX_REQUIRE(token != nullptr, "token overload needs a token");
+  Item item;
+  item.fn = std::move(task);
+  item.token = std::move(token);
+  std::future<void> fut = item.done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ESSEX_REQUIRE(!shutting_down_, "cannot submit to a destroyed pool");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
 void ThreadPool::cancel_pending() {
   std::deque<Item> discarded;
   {
@@ -79,11 +96,16 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    try {
-      item.fn(cancel_flag_);
-      item.done.set_value();
-    } catch (...) {
-      item.done.set_exception(std::current_exception());
+    if (item.token && item.token->load(std::memory_order_relaxed)) {
+      item.done.set_exception(std::make_exception_ptr(TaskCancelled{}));
+    } else {
+      const std::atomic<bool>& flag = item.token ? *item.token : cancel_flag_;
+      try {
+        item.fn(flag);
+        item.done.set_value();
+      } catch (...) {
+        item.done.set_exception(std::current_exception());
+      }
     }
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -20,6 +20,9 @@ namespace essex {
 /// Fixed-size thread pool with FIFO dispatch and cooperative cancellation.
 class ThreadPool {
  public:
+  /// Per-task cancellation handle (see the CancelToken submit overload).
+  using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
   /// Spawn `n_threads` workers (>= 1).
   explicit ThreadPool(std::size_t n_threads);
   ~ThreadPool();
@@ -33,6 +36,13 @@ class ThreadPool {
 
   /// Convenience overload for tasks that ignore cancellation.
   std::future<void> submit(std::function<void()> task);
+
+  /// Per-task cancellation: the task's stop flag is `*token` instead of
+  /// the pool-wide flag. If the token is raised before the task starts,
+  /// the worker skips it (TaskCancelled through the future); raised
+  /// mid-run it is visible to the task for cooperative early exit.
+  std::future<void> submit(std::function<void(const std::atomic<bool>&)> task,
+                           CancelToken token);
 
   /// Discard tasks not yet started and raise the cancellation flag that
   /// running tasks can poll. Pending futures complete exceptionally with
@@ -59,6 +69,7 @@ class ThreadPool {
   struct Item {
     std::function<void(const std::atomic<bool>&)> fn;
     std::promise<void> done;
+    CancelToken token;  ///< null = pool-wide cancel flag
   };
 
   void worker_loop();

@@ -134,6 +134,11 @@ CycleResult run_assimilation_cycle(const ocean::OceanModel& model,
   CycleResult out;
   out.forecast = run_uncertainty_forecast(model, initial, initial_subspace,
                                           t0_hours, params);
+  // Graceful degradation has a floor: an analysis against a subspace
+  // estimated from too few surviving members would be noise.
+  ESSEX_REQUIRE(out.forecast.members_run >= params.min_analysis_members,
+                "analysis refused: fewer surviving members than the "
+                "min_analysis_members floor");
   out.analysis = analyze(out.forecast.central_forecast,
                          out.forecast.forecast_subspace, h);
   return out;

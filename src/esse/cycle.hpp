@@ -37,6 +37,10 @@ struct CycleParams {
   std::size_t check_interval = 8;  ///< members between SVD/convergence tests
   std::size_t threads = 1;        ///< worker threads for member runs
   bool stochastic_members = true;  ///< members feel model noise (dη)
+  /// Graceful-degradation floor N′: the analysis stage accepts a forecast
+  /// built from fewer members than planned (survivors of a faulty run),
+  /// but refuses to assimilate below this many members.
+  std::size_t min_analysis_members = 2;
   /// Optional telemetry sink (nullable, not owned): the forecast loop
   /// streams `esse.convergence` events (t = ensemble size, value = ρ) and
   /// `esse.*` counters into it.
@@ -51,6 +55,13 @@ struct MtcAccounting {
   std::size_t members_cancelled = 0;  ///< killed on convergence (§4.1)
   std::size_t svd_runs = 0;           ///< decoupled SVD invocations
   std::uint64_t store_versions = 0;   ///< covariance snapshots promoted
+  // Fault-layer accounting (zero for failure-free runs).
+  std::size_t members_failed = 0;     ///< attempts that threw/were injected
+  std::size_t members_retried = 0;    ///< re-submissions issued
+  std::size_t speculative_launched = 0;
+  std::size_t speculative_won = 0;
+  std::size_t members_lost = 0;       ///< retries exhausted, member gone
+  bool degraded = false;              ///< converged with N′ < N members
 };
 
 /// Outcome of the uncertainty-forecast stage. The single forecast result

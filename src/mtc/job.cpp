@@ -9,6 +9,7 @@ std::string to_string(JobStatus s) {
     case JobStatus::kDone: return "done";
     case JobStatus::kFailed: return "failed";
     case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kEvicted: return "evicted";
   }
   return "?";
 }

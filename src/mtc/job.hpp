@@ -23,6 +23,7 @@ enum class JobStatus {
   kDone,
   kFailed,
   kCancelled,
+  kEvicted,  ///< host lost mid-run (node outage, glide-in lease end)
 };
 
 /// Lifecycle record kept per job for the timing analyses.

@@ -21,7 +21,10 @@ SchedulerParams condor_params(double negotiation_interval_s) {
 
 JobContext::JobContext(ClusterScheduler& sched, JobId id,
                        std::size_t node_index)
-    : sched_(sched), id_(id), node_index_(node_index) {}
+    : sched_(sched),
+      id_(id),
+      node_index_(node_index),
+      rng_(sched.params_.faults.seed, id) {}
 
 double JobContext::cpu_speed() const { return node().cpu_speed; }
 
@@ -35,9 +38,9 @@ void JobContext::compute(double cpu_seconds_at_unit_speed,
   const double wall = cpu_seconds_at_unit_speed / cpu_speed();
   auto self = shared_from_this();
   // Failure injection: the job may die part-way through this segment.
-  if (sched_.params_.failure_probability > 0.0 &&
-      sched_.rng_.uniform() < sched_.params_.failure_probability) {
-    const double frac = sched_.params_.failure_fraction;
+  if (sched_.params_.faults.failure_probability > 0.0 &&
+      rng_.uniform() < sched_.params_.faults.failure_probability) {
+    const double frac = sched_.params_.faults.failure_fraction;
     sched_.sim_.after(wall * frac, [self, wall, frac] {
       if (!self->alive_) return;
       self->sched_.records_[self->id_].cpu_seconds += wall * frac;
@@ -114,10 +117,22 @@ ClusterScheduler::ClusterScheduler(Simulator& sim, ClusterSpec cluster,
     : sim_(sim),
       cluster_(std::move(cluster)),
       params_(params),
-      rng_(params.seed) {
+      outage_rng_(params.faults.seed, 0xFA177ULL) {
+  // Deprecation shim: honour the loose pre-FaultInjection knobs when the
+  // consolidated struct was left untouched.
+  if (params_.faults.failure_probability == 0.0 &&
+      params_.failure_probability > 0.0) {
+    params_.faults.failure_probability = params_.failure_probability;
+    params_.faults.failure_fraction = params_.failure_fraction;
+  }
+  if (params_.faults.seed == FaultInjection{}.seed) {
+    params_.faults.seed = params_.seed;
+  }
+  outage_rng_ = Rng(params_.faults.seed, 0xFA177ULL);
   nfs_ = std::make_unique<BandwidthResource>(
       sim_, cluster_.nfs_capacity_bps, cluster_.name + "-nfs");
   busy_cores_.resize(cluster_.nodes.size(), 0);
+  node_down_.resize(cluster_.nodes.size(), false);
   // Nodes reserved by other users contribute no schedulable cores.
   for (std::size_t i = 0; i < cluster_.nodes.size(); ++i) {
     if (cluster_.nodes[i].reserved_by_others)
@@ -172,6 +187,7 @@ JobId ClusterScheduler::submit(JobBody body, std::size_t cores) {
           [this, id, cores, body = std::move(body)]() mutable {
     queue_.push_back({id, std::move(body), cores});
     note_queue_depth();
+    maybe_schedule_outage();
     if (params_.negotiation_interval_s > 0) {
       if (!negotiation_scheduled_) {
         negotiation_scheduled_ = true;
@@ -242,6 +258,7 @@ std::optional<std::size_t> ClusterScheduler::find_node_for(
   // Prefer faster nodes (SGE load formulas typically do).
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < cluster_.nodes.size(); ++i) {
+    if (node_down_[i]) continue;
     if (busy_cores_[i] + cores > cluster_.nodes[i].cores) continue;
     if (!best || cluster_.nodes[i].cpu_speed >
                      cluster_.nodes[*best].cpu_speed) {
@@ -341,6 +358,7 @@ void ClusterScheduler::job_done(JobId id, JobStatus status) {
     switch (status) {
       case JobStatus::kDone: telem_->count("sched.jobs_done"); break;
       case JobStatus::kFailed: telem_->count("sched.jobs_failed"); break;
+      case JobStatus::kEvicted: telem_->count("sched.jobs_evicted"); break;
       default: telem_->count("sched.jobs_cancelled"); break;
     }
     telem_->count("sched.cpu_seconds", rec.cpu_seconds);
@@ -354,6 +372,55 @@ void ClusterScheduler::job_done(JobId id, JobStatus status) {
   if (params_.negotiation_interval_s <= 0) {
     try_dispatch();
   }
+}
+
+// ---- Node outages -------------------------------------------------------
+
+void ClusterScheduler::maybe_schedule_outage() {
+  if (params_.faults.node_mtbf_s <= 0.0 || outage_scheduled_) return;
+  outage_scheduled_ = true;
+  const double gap =
+      outage_rng_.exponential(1.0 / params_.faults.node_mtbf_s);
+  sim_.after(gap, [this] { outage_event(); });
+}
+
+void ClusterScheduler::outage_event() {
+  outage_scheduled_ = false;
+  // Pause while idle so the event queue can drain; submit() resumes us.
+  if (queue_.empty() && running_ == 0) return;
+  std::vector<std::size_t> up;
+  for (std::size_t i = 0; i < cluster_.nodes.size(); ++i) {
+    if (!node_down_[i] && !cluster_.nodes[i].reserved_by_others)
+      up.push_back(i);
+  }
+  if (!up.empty()) {
+    take_node_down(up[outage_rng_.uniform_index(up.size())]);
+  }
+  maybe_schedule_outage();
+}
+
+void ClusterScheduler::take_node_down(std::size_t node_index) {
+  node_down_[node_index] = true;
+  if (telem_) {
+    telem_->count("sched.node_outages");
+    telem_->event("sched.node_outage", sim_.now(),
+                  static_cast<double>(node_index));
+  }
+  std::vector<JobId> victims;
+  for (const auto& rec : records_) {
+    if (rec.status == JobStatus::kRunning && rec.node_index == node_index)
+      victims.push_back(rec.id);
+  }
+  for (JobId id : victims) {
+    auto& ctx = contexts_[id];
+    if (ctx) ctx->alive_ = false;
+    job_done(id, JobStatus::kEvicted);
+  }
+  sim_.after(params_.faults.node_outage_s, [this, node_index] {
+    node_down_[node_index] = false;
+    if (telem_) telem_->count("sched.node_recoveries");
+    if (params_.negotiation_interval_s <= 0) try_dispatch();
+  });
 }
 
 }  // namespace essex::mtc

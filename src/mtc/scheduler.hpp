@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "mtc/cluster.hpp"
+#include "mtc/fault.hpp"
 #include "mtc/job.hpp"
 #include "mtc/sim.hpp"
 
@@ -83,6 +84,10 @@ class JobContext : public std::enable_shared_from_this<JobContext> {
   std::size_t node_index_;
   bool alive_ = true;
   bool finished_ = false;
+  /// Per-job failure-injection stream, keyed (faults.seed, job id):
+  /// enabling injection never perturbs any other stochastic draw, and
+  /// job k draws the same stream regardless of scheduling order.
+  Rng rng_;
 };
 
 /// Scheduling policy parameters.
@@ -101,10 +106,15 @@ struct SchedulerParams {
   /// Strict FIFO: a queued multi-core job that does not fit blocks the
   /// queue. false = the dispatcher may backfill later jobs that fit.
   bool strict_fifo = false;
-  /// Probability a job dies mid-run (failure injection; §4 point 3).
+  /// Failure injection (per-job deaths, node outages). The consolidated
+  /// home of the former loose failure knobs below.
+  FaultInjection faults;
+  /// DEPRECATED — use faults.failure_probability. Merged into `faults`
+  /// at scheduler construction when `faults` is untouched.
   double failure_probability = 0.0;
-  /// Fraction of a job's runtime at which an injected failure strikes.
+  /// DEPRECATED — use faults.failure_fraction.
   double failure_fraction = 0.5;
+  /// DEPRECATED — use faults.seed.
   std::uint64_t seed = 1234;
 };
 
@@ -186,6 +196,13 @@ class ClusterScheduler {
   void job_done(JobId id, JobStatus status);
   void advance_occupancy();
   void note_queue_depth();
+  /// Node-outage process (faults.node_mtbf_s > 0): a fleet-level Poisson
+  /// clock takes random nodes down for faults.node_outage_s, evicting
+  /// their running jobs. Pauses while the scheduler is idle so the
+  /// simulator's event queue can drain.
+  void maybe_schedule_outage();
+  void outage_event();
+  void take_node_down(std::size_t node_index);
 
   Simulator& sim_;
   ClusterSpec cluster_;
@@ -202,7 +219,9 @@ class ClusterScheduler {
   std::vector<std::shared_ptr<JobContext>> contexts_;  // by id, running only
   std::size_t running_ = 0;
   CompletionHook hook_;
-  Rng rng_;
+  Rng outage_rng_;
+  std::vector<bool> node_down_;
+  bool outage_scheduled_ = false;
   bool negotiation_scheduled_ = false;
   SimTime submit_ready_at_ = 0.0;  // master busy until (submit overheads)
   telemetry::Sink* telem_ = nullptr;

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
+#include "mtc/execution_backend.hpp"
 
 namespace essex::workflow {
 
@@ -18,6 +19,9 @@ using mtc::JobId;
 using mtc::JobRecord;
 using mtc::JobStatus;
 using mtc::Simulator;
+using mtc::TaskOutcome;
+using mtc::TaskReport;
+using mtc::TaskState;
 
 /// Per-member accounting collected by the drivers.
 struct MemberStats {
@@ -113,6 +117,7 @@ void fill_common_metrics(const ClusterScheduler& sched,
         ++m.members_completed;
         break;
       case JobStatus::kFailed:
+      case JobStatus::kEvicted:
         ++m.members_failed;
         break;
       case JobStatus::kCancelled:
@@ -161,6 +166,13 @@ void publish_workflow_metrics(telemetry::Sink* sink,
               static_cast<double>(m.members_diffed));
   sink->count("workflow.svd_runs", static_cast<double>(m.svd_runs));
   sink->count("workflow.nfs_bytes_moved", m.nfs_bytes_moved);
+  sink->count("workflow.members_retried",
+              static_cast<double>(m.members_retried));
+  sink->count("workflow.members_evicted",
+              static_cast<double>(m.members_evicted));
+  sink->count("workflow.members_lost",
+              static_cast<double>(m.members_lost));
+  sink->gauge_set("workflow.degraded", m.degraded ? 1.0 : 0.0);
   const double denom =
       m.makespan_s * static_cast<double>(sched.schedulable_cores());
   sink->gauge_set("workflow.core_utilisation",
@@ -283,13 +295,20 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   EsseWorkflowConfig cfg;
   std::shared_ptr<BodyEnv> env;
   WorkflowMetrics metrics;
-  std::vector<JobId> member_jobs;
+
+  // Members are submitted through the unified ExecutionBackend API; the
+  // fault layer owns retries, timeouts and straggler speculation, and
+  // reports each member's *final* outcome exactly once.
+  std::unique_ptr<mtc::SimExecutionBackend> backend;
+  std::unique_ptr<mtc::FaultTolerantExecutor> exec;
 
   std::size_t target = 0;     // N
   std::size_t submitted = 0;  // members issued to the pool (M)
+  std::size_t completed = 0;  // members resolved kDone
   std::size_t diffed = 0;
   std::size_t last_svd_n = 0;
   std::deque<std::size_t> diff_queue;
+  std::vector<bool> output_seen;  // one diff per member, ever
   bool differ_busy = false;
   bool svd_busy = false;
   bool svd_waiting = false;
@@ -297,6 +316,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   std::size_t next_check = 0;
   bool done = false;
   bool draining = false;  // post-convergence final pass
+  double last_activity = 0;  // last member/differ/SVD event time
 
   ParallelDriver(Simulator& s, ClusterScheduler& c,
                  const EsseWorkflowConfig& config)
@@ -304,6 +324,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     auto self_env = std::make_shared<BodyEnv>(BodyEnv{sched, cfg, {}, nullptr});
     self_env->stats.resize(cfg.max_members + 1);
     env = self_env;
+    output_seen.resize(cfg.max_members + 1, false);
   }
 
   void start() {
@@ -314,7 +335,23 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     env->on_output_home = [self](std::size_t m) {
       self->on_member_output(m);
     };
-    sched.set_completion_hook([self](const JobRecord&) {
+    // Expected single-attempt runtime at unit speed — the calibrated
+    // EsseJobShape timings — anchors timeouts and straggler scans.
+    const double expected_runtime =
+        cfg.shape.pert_cpu_s + cfg.shape.pert_fs_s + cfg.shape.pemodel_cpu_s;
+    backend = std::make_unique<mtc::SimExecutionBackend>(
+        sched,
+        [body_env = env](std::size_t member, std::size_t /*attempt*/) {
+          return make_member_body(body_env, member);
+        },
+        expected_runtime);
+    exec = std::make_unique<mtc::FaultTolerantExecutor>(*backend, cfg.fault,
+                                                        cfg.sink);
+    exec->set_member_hook([self](std::size_t member, TaskOutcome outcome) {
+      self->on_member_resolved(member, outcome);
+    });
+    exec->set_report_observer([self](const TaskReport&) {
+      self->last_activity = self->sim.now();
       self->maybe_drained();
     });
     submit_up_to_pool();
@@ -322,7 +359,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
       sim.at(cfg.deadline_s, [self] {
         if (!self->done) {
           self->metrics.deadline_hit = true;
-          self->conclude();
+          self->conclude(self->sim.now());
         }
       });
     }
@@ -335,22 +372,24 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   }
 
   void submit_up_to_pool() {
-    std::vector<ClusterScheduler::JobBody> bodies;
     while (submitted < pool_size()) {
-      bodies.push_back(make_member_body(env, submitted++));
-    }
-    if (!bodies.empty()) {
-      auto ids = sched.submit_array(std::move(bodies));
-      member_jobs.insert(member_jobs.end(), ids.begin(), ids.end());
+      exec->run_member(submitted++);
     }
   }
 
   void on_member_output(std::size_t member) {
-    if (done) return;
+    if (done || output_seen[member]) return;
+    output_seen[member] = true;
     // The differ runs continuously, absorbing results in completion
     // order (§4.1's fix for bottleneck 2: bookkeeping, not ordering).
     diff_queue.push_back(member);
     pump_differ();
+  }
+
+  void on_member_resolved(std::size_t /*member*/, TaskOutcome outcome) {
+    last_activity = sim.now();
+    if (outcome == TaskOutcome::kDone) ++completed;
+    maybe_drained();
   }
 
   void pump_differ() {
@@ -361,6 +400,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     sim.after(cfg.shape.diff_cpu_s / head_speed(sched, cfg), [self] {
       self->differ_busy = false;
       ++self->diffed;
+      self->last_activity = self->sim.now();
       self->poke_svd();
       self->pump_differ();
       self->maybe_drained();
@@ -391,6 +431,7 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     sim.after(cfg.shape.svd_seconds(n, head_speed(sched, cfg)), [self, n] {
       self->svd_busy = false;
       self->last_svd_n = n;
+      self->last_activity = self->sim.now();
       self->convergence_check(n);
     });
   }
@@ -431,28 +472,25 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   }
 
   void apply_cancel_policy() {
+    // Stop issuing retries and speculative copies first: convergence has
+    // been reached, remaining work only runs out (or is spared).
+    exec->enter_drain_mode();
     const bool spare = cfg.cancel_policy == CancelPolicy::kSpareNearFinish;
-    for (JobId id : member_jobs) {
-      const JobRecord& r = sched.record(id);
-      if (r.status == JobStatus::kQueued) {
-        sched.cancel(id);
-      } else if (r.status == JobStatus::kRunning) {
-        if (spare) {
-          // "spare any ensemble calculations close to finishing
-          // (according to performance estimates ... and accumulated
-          // runtime)" (§4.1).
-          const auto& node = sched.cluster().nodes[r.node_index];
-          const double expected = cfg.shape.pert_cpu_s / node.cpu_speed +
-                                  cfg.shape.pert_fs_s +
-                                  cfg.shape.pemodel_cpu_s / node.cpu_speed;
-          const double elapsed = sim.now() - r.started;
-          if (elapsed >= cfg.spare_fraction * expected) continue;
-        }
-        sched.cancel(id);
+    for (const auto& [member, r] : exec->live_members()) {
+      if (spare && r.state == TaskState::kRunning && r.started > 0) {
+        // "spare any ensemble calculations close to finishing
+        // (according to performance estimates ... and accumulated
+        // runtime)" (§4.1).
+        const double expected =
+            (cfg.shape.pert_cpu_s + cfg.shape.pemodel_cpu_s) / r.node_speed +
+            cfg.shape.pert_fs_s;
+        const double elapsed = sim.now() - r.started;
+        if (elapsed >= cfg.spare_fraction * expected) continue;
       }
+      exec->cancel_member(member);
     }
     if (cfg.cancel_policy == CancelPolicy::kCancelImmediately) {
-      conclude();
+      conclude(sim.now());
       return;
     }
     // kUseAllFinished / kSpareNearFinish: diff what landed, final SVD.
@@ -463,31 +501,74 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
   void maybe_drained() {
     if (!draining || done) return;
     pump_differ();
-    if (sched.running_jobs() > 0 || sched.queued_jobs() > 0 ||
-        !diff_queue.empty() || differ_busy || svd_busy) {
+    if (!exec->idle() || !diff_queue.empty() || differ_busy || svd_busy) {
       return;
     }
     if (last_svd_n < diffed) {
       poke_svd();  // the final SVD over all available results
       return;
     }
-    conclude();
+    conclude(sim.now());
   }
 
-  void conclude() {
+  void conclude(double t) {
     if (done) return;
     done = true;
-    metrics.makespan_s = sim.now();
+    metrics.makespan_s = t;
     metrics.members_diffed = diffed;
-    for (JobId id : member_jobs) {
-      const JobRecord& r = sched.record(id);
-      if (r.status == JobStatus::kQueued || r.status == JobStatus::kRunning)
-        sched.cancel(id);
+    exec->cancel_all();
+    const mtc::FaultStats fs = exec->stats();
+    metrics.members_completed = completed;
+    metrics.members_retried = fs.retries;
+    metrics.members_evicted = fs.evictions;
+    metrics.members_lost = fs.members_lost;
+    metrics.speculative_launched = fs.speculative_launched;
+    metrics.speculative_won = fs.speculative_won;
+    // Graceful degradation: the subspace converged, but with fewer
+    // members than planned because some exhausted their retries.
+    metrics.degraded = metrics.converged && fs.members_lost > 0;
+    // Per-attempt accounting straight off the scheduler's records (every
+    // job this driver runs on the scheduler is a member attempt).
+    for (const JobRecord& r : sched.records()) {
+      switch (r.status) {
+        case JobStatus::kDone:
+          break;
+        case JobStatus::kFailed:
+          ++metrics.members_failed;
+          break;
+        case JobStatus::kEvicted:
+          if (r.started > 0) metrics.wasted_cpu_seconds += r.finished - r.started;
+          break;
+        default:  // cancelled (incl. timed-out and losing speculative)
+          ++metrics.members_cancelled;
+          if (r.started > 0) metrics.wasted_cpu_seconds += r.finished - r.started;
+          break;
+      }
     }
-    sched.set_completion_hook(nullptr);
-    fill_common_metrics(sched, member_jobs, env->stats, metrics);
+    double util_sum = 0;
+    std::size_t util_n = 0;
+    for (const auto& s : env->stats) {
+      if (s.pert_cpu > 0) {
+        util_sum += s.pert_cpu / std::max(s.pert_cpu + s.pert_io, 1e-9);
+        ++util_n;
+      }
+    }
+    metrics.pert_cpu_utilization =
+        util_n ? util_sum / static_cast<double>(util_n) : 0;
     metrics.nfs_bytes_moved = sched.nfs().bytes_moved();
     publish_workflow_metrics(cfg.sink, sched, metrics);
+    if (cfg.sink) {
+      cfg.sink->gauge_set(
+          "fault.degradation",
+          target > 0 ? static_cast<double>(fs.members_lost) /
+                           static_cast<double>(target)
+                     : 0.0);
+    }
+    // Break the shared_ptr cycles through the hooks so the driver is
+    // reclaimed once run_parallel_esse returns.
+    exec->set_member_hook(nullptr);
+    exec->set_report_observer(nullptr);
+    env->on_output_home = nullptr;
   }
 };
 
@@ -516,7 +597,10 @@ WorkflowMetrics run_parallel_esse(mtc::Simulator& sim,
   auto driver = std::make_shared<ParallelDriver>(sim, sched, config);
   driver->start();
   sim.run();
-  driver->conclude();  // no-op when already concluded
+  // No-op when already concluded. A run that drains without converging
+  // ends at its last real member/differ/SVD event, not at whatever
+  // leftover fault-layer timer fired last.
+  driver->conclude(driver->last_activity);
   return driver->metrics;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mtc/cluster.hpp"
+#include "mtc/fault.hpp"
 #include "mtc/job.hpp"
 #include "mtc/scheduler.hpp"
 #include "mtc/sim.hpp"
@@ -53,6 +54,10 @@ struct EsseWorkflowConfig {
   std::size_t svd_stride = 50;
   CancelPolicy cancel_policy = CancelPolicy::kCancelImmediately;
   double spare_fraction = 0.9;  ///< for kSpareNearFinish
+  /// Recovery policy applied by the parallel driver's fault layer:
+  /// retry/backoff on failure or eviction, per-task timeouts, straggler
+  /// speculation. Failure *injection* lives in SchedulerParams::faults.
+  mtc::FaultPolicy fault;
   /// Forecast deadline Tmax (seconds of simulated time; 0 = none).
   double deadline_s = 0.0;
   /// Index of the master/head node (runs differ + SVD).
@@ -71,10 +76,18 @@ struct WorkflowMetrics {
   double makespan_s = 0;            ///< workflow start → all results used
   double converged_at_s = 0;        ///< time the convergence test passed
   std::size_t members_completed = 0;
-  std::size_t members_cancelled = 0;
-  std::size_t members_failed = 0;
+  std::size_t members_cancelled = 0;  ///< cancelled attempts (parallel)
+  std::size_t members_failed = 0;     ///< failed attempts (parallel)
   std::size_t members_diffed = 0;
   std::size_t svd_runs = 0;
+  // Fault-layer accounting (parallel driver only).
+  std::size_t members_retried = 0;       ///< re-submissions issued
+  std::size_t members_evicted = 0;       ///< attempts lost to node outages
+  std::size_t members_lost = 0;          ///< retries exhausted, member gone
+  std::size_t speculative_launched = 0;  ///< straggler backup copies
+  std::size_t speculative_won = 0;
+  /// Converged with fewer members than planned (graceful degradation).
+  bool degraded = false;
   bool converged = false;
   bool deadline_hit = false;
   double pert_cpu_utilization = 0;  ///< mean over completed members

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "mtc/execution_backend.hpp"
 
 namespace essex::workflow {
 
@@ -65,46 +67,66 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
 
   std::mutex mu;
   std::condition_variable cv;
-  std::size_t landed = 0;
   std::size_t since_snapshot = 0;
+  std::size_t resolved = 0;  // members with a final outcome
 
   ThreadPool pool(std::max<std::size_t>(cp.threads, 1));
   esse::ForecastResult out;
   esse::MtcAccounting acct;
   std::size_t submitted = 0;
 
-  auto submit_member = [&](std::size_t id) {
-    pool.submit([&, id](const std::atomic<bool>& stop) {
-      if (stop.load(std::memory_order_relaxed)) return;
-      telemetry::ScopedTimer timer(sink, "runner.member_s");
-      la::Vector x0 = pert.perturbed_state(packed_initial, id);
-      la::Vector xf = run_member(model, x0, t0_hours, cp.forecast_hours,
-                                 cp.stochastic_members, cp.perturbation.seed,
-                                 id);
-      differ.add_member(id, xf);
-      if (sink) sink->count("runner.members_run");
-      bool promote = false;
-      {
-        std::lock_guard<std::mutex> lk(mu);
-        ++landed;
-        if (++since_snapshot >= config.svd_min_new_members &&
-            differ.count() >= 2) {
-          since_snapshot = 0;
-          promote = true;
+  // The member closure both Fig.-4 drivers now share in shape: it runs
+  // one attempt of one member; throwing reports TaskOutcome::kFailed and
+  // the fault layer decides whether to resubmit.
+  mtc::ThreadExecutionBackend backend(
+      pool,
+      [&](std::size_t id, std::size_t attempt,
+          const std::atomic<bool>& cancelled) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        telemetry::ScopedTimer timer(sink, "runner.member_s");
+        if (config.inject.failure_probability > 0.0) {
+          // Deterministic per-(member, attempt) stream — mirrors the
+          // per-job RNG keying of the DES failure injection.
+          Rng inject_rng(config.inject.seed, (id << 20) | attempt);
+          if (inject_rng.uniform() < config.inject.failure_probability) {
+            throw std::runtime_error("injected member failure");
+          }
         }
-      }
-      // Promote a new covariance snapshot through the triple-buffer
-      // store (the "safe file" the SVD reads). Views are column-prefix
-      // handles over the differ's append-only storage, so a promote is
-      // O(n) pointer copies — writers never block behind an O(m·n)
-      // matrix copy.
-      if (promote) {
-        store.update([&](esse::AnomalyView& v) { v = differ.view(); });
-        if (sink) sink->count("runner.store_promotes");
-      }
-      cv.notify_all();
-    });
-  };
+        la::Vector x0 = pert.perturbed_state(packed_initial, id);
+        la::Vector xf = run_member(model, x0, t0_hours, cp.forecast_hours,
+                                   cp.stochastic_members,
+                                   cp.perturbation.seed, id);
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        differ.add_member(id, xf);  // dedups a speculative duplicate
+        if (sink) sink->count("runner.members_run");
+        bool promote = false;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (++since_snapshot >= config.svd_min_new_members &&
+              differ.count() >= 2) {
+            since_snapshot = 0;
+            promote = true;
+          }
+        }
+        // Promote a new covariance snapshot through the triple-buffer
+        // store (the "safe file" the SVD reads). Views are column-prefix
+        // handles over the differ's append-only storage, so a promote is
+        // O(n) pointer copies — writers never block behind an O(m·n)
+        // matrix copy.
+        if (promote) {
+          store.update([&](esse::AnomalyView& v) { v = differ.view(); });
+          if (sink) sink->count("runner.store_promotes");
+        }
+        cv.notify_all();
+      });
+  mtc::FaultTolerantExecutor exec(backend, config.fault, sink);
+  exec.set_member_hook([&](std::size_t /*member*/, mtc::TaskOutcome) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++resolved;
+    }
+    cv.notify_all();
+  });
 
   auto fill_pool = [&] {
     const auto m = static_cast<std::size_t>(std::ceil(
@@ -112,7 +134,7 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
     const std::size_t cap =
         std::max(sizer.target(),
                  std::min(m, cp.ensemble.max_members));
-    while (submitted < cap) submit_member(submitted++);
+    while (submitted < cap) exec.run_member(submitted++);
     if (sink) {
       sink->gauge_set("runner.pool_size", static_cast<double>(submitted));
       sink->event("runner.pool_size", telemetry::wall_seconds(),
@@ -124,11 +146,12 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
 
   std::uint64_t last_version = 0;
   for (;;) {
-    // Wait for fresh data or for the pool to drain.
+    // Wait for fresh data or for every member to reach a final outcome
+    // (done, or lost after its retries).
     {
       std::unique_lock<std::mutex> lk(mu);
       cv.wait(lk, [&] {
-        return store.version() != last_version || landed >= submitted;
+        return store.version() != last_version || resolved >= submitted;
       });
     }
     const auto snap = store.read();
@@ -144,25 +167,35 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
         sink->event("runner.convergence",
                     static_cast<double>(snap.data->count()), *rho);
       }
-      if (conv.converged()) {
-        pool.cancel_pending();  // §4.1: cancel the remaining members
-        break;
-      }
+      if (conv.converged()) break;  // §4.1: cancel the remaining members
     }
-    std::size_t landed_now;
+    std::size_t resolved_now;
     {
       std::lock_guard<std::mutex> lk(mu);
-      landed_now = landed;
+      resolved_now = resolved;
     }
-    if (landed_now >= submitted && store.version() == last_version) {
+    if (resolved_now >= submitted && store.version() == last_version) {
       // Pool drained without convergence: grow toward Nmax or stop.
       if (sizer.at_max()) break;
       sizer.grow();
       fill_pool();
     }
   }
+  // Teardown order matters: stop launching and cancel live attempts, let
+  // running workers land, then join the timer thread — only after that is
+  // it safe for the executor and its hooks to go out of scope.
+  exec.cancel_all();
   pool.wait_idle();
+  backend.shutdown_timers();
+  const mtc::FaultStats fstats = exec.stats();
 
+  // Graceful degradation has a floor (FaultPolicy::min_members): proceed
+  // with the survivors of a faulty run, but not below N′.
+  const std::size_t floor_n =
+      std::max<std::size_t>(1, config.fault.min_members);
+  ESSEX_REQUIRE(differ.count() >= floor_n,
+                "graceful degradation floor: fewer surviving members than "
+                "FaultPolicy.min_members");
   out.central_forecast = std::move(central);
   out.forecast_subspace =
       differ.subspace(cp.variance_fraction, cp.max_rank);
@@ -172,15 +205,26 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
   acct.members_submitted = submitted;
   acct.members_cancelled = submitted - differ.count();
   acct.store_versions = store.version();
+  acct.members_failed = fstats.failed_attempts;
+  acct.members_retried = fstats.retries;
+  acct.speculative_launched = fstats.speculative_launched;
+  acct.speculative_won = fstats.speculative_won;
+  acct.members_lost = fstats.members_lost;
+  acct.degraded = out.converged && fstats.members_lost > 0;
   if (sink) {
     sink->count("runner.members_submitted",
                 static_cast<double>(acct.members_submitted));
     sink->count("runner.members_cancelled",
                 static_cast<double>(acct.members_cancelled));
     sink->count("runner.svd_runs", static_cast<double>(acct.svd_runs));
+    sink->count("runner.members_retried",
+                static_cast<double>(acct.members_retried));
+    sink->count("runner.members_lost",
+                static_cast<double>(acct.members_lost));
     sink->gauge_set("runner.store_versions",
                     static_cast<double>(acct.store_versions));
     sink->gauge_set("runner.converged", out.converged ? 1.0 : 0.0);
+    sink->gauge_set("runner.degraded", acct.degraded ? 1.0 : 0.0);
   }
   out.mtc = acct;
   return out;

@@ -15,6 +15,7 @@
 #include "esse/cycle.hpp"
 #include "esse/differ.hpp"
 #include "esse/error_subspace.hpp"
+#include "mtc/fault.hpp"
 #include "ocean/model.hpp"
 #include "workflow/covariance_store.hpp"
 
@@ -30,6 +31,13 @@ struct ParallelRunnerConfig {
   esse::CycleParams cycle;     ///< perturbation/convergence/size knobs
   double pool_headroom = 1.25; ///< M = headroom × N
   std::size_t svd_min_new_members = 4;  ///< snapshot stride for the SVD
+  /// Recovery policy: a member whose attempt throws (or is injected to
+  /// fail) is resubmitted with jittered backoff through the same
+  /// FaultTolerantExecutor the DES driver uses.
+  mtc::FaultPolicy fault;
+  /// Failure injection for tests/benches: attempt (member, k) throws
+  /// with `failure_probability`, drawn from a per-attempt RNG stream.
+  mtc::FaultInjection inject;
 };
 
 /// Everything one forecast invocation needs, in one place: adding a knob

@@ -151,8 +151,11 @@ TEST_F(RunnerFixture, MatchesBlockSynchronousDriverStatistically) {
 
 TEST_F(RunnerFixture, CancellationLeavesConsistentCounts) {
   ParallelRunnerConfig cfg;
-  cfg.cycle.forecast_hours = 2.0;
-  cfg.cycle.threads = 1;  // serial workers → cancellation certain to hit
+  // Long members + a serial worker: the convergence decision always
+  // lands while most of the pool is still queued, so cancellation is
+  // certain to hit (short members can race the cancel and finish first).
+  cfg.cycle.forecast_hours = 24.0;
+  cfg.cycle.threads = 1;
   cfg.cycle.ensemble = {8, 2.0, 64};
   cfg.cycle.convergence = {0.5, 4};  // converges almost immediately
   cfg.pool_headroom = 2.0;
