@@ -1,0 +1,81 @@
+// The PR-4 replay harness driver: executes the canonical golden run
+// (DESIGN.md §10) at several thread counts and under two adversarially
+// shuffled arrival schedules, prints each digest, and reports whether
+// they agree — the same property ctest -L determinism enforces.
+//
+// --write-golden [path] additionally rewrites the checked-in golden
+// digest file (default: the build-time tests/golden directory), in
+// sha256sum line format. Run it after an *intentional* change to the
+// seeded numerics, then commit the new digest with the change.
+//
+// Usage: bench_determinism [--write-golden [path]]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workflow/determinism_probe.hpp"
+
+#ifndef ESSEX_GOLDEN_DIR
+#define ESSEX_GOLDEN_DIR "."
+#endif
+
+int main(int argc, char** argv) {
+  using namespace essex;
+
+  bool write_golden = false;
+  std::string golden_path = std::string(ESSEX_GOLDEN_DIR) +
+                            "/determinism.sha256";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-golden") {
+      write_golden = true;
+      if (i + 1 < argc) golden_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_determinism [--write-golden [path]]\n";
+      return 2;
+    }
+  }
+
+  struct Run {
+    std::string label;
+    std::string digest;
+  };
+  std::vector<Run> runs;
+  const auto record = [&](const std::string& label, std::string digest) {
+    runs.push_back({label, std::move(digest)});
+    std::cout << runs.back().digest << "  " << label << "\n";
+  };
+
+  record("threads=1", workflow::golden_digest(1));
+  record("threads=4", workflow::golden_digest(4));
+  record("threads=8", workflow::golden_digest(8));
+  record("threads=4 shuffle=reversed",
+         workflow::golden_digest(4, [](std::size_t id) {
+           std::this_thread::sleep_for(
+               std::chrono::milliseconds((23 - id % 24) / 4));
+         }));
+  record("threads=4 shuffle=strided",
+         workflow::golden_digest(4, [](std::size_t id) {
+           std::this_thread::sleep_for(
+               std::chrono::milliseconds((id * 37 + 11) % 7));
+         }));
+
+  bool agree = true;
+  for (const Run& r : runs) agree = agree && r.digest == runs.front().digest;
+  std::cout << (agree ? "all digests agree" : "DIGEST MISMATCH") << "\n";
+  if (!agree) return 1;
+
+  if (write_golden) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << golden_path << "\n";
+      return 1;
+    }
+    out << runs.front().digest << "  " << workflow::kGoldenRunKey << "\n";
+    std::cout << "wrote " << golden_path << "\n";
+  }
+  return 0;
+}

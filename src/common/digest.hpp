@@ -1,0 +1,41 @@
+// ESSEX: SHA-256 message digests for the determinism harness
+// (DESIGN.md §10). Self-contained FIPS 180-4 implementation — the golden
+// replay tests hash serialized forecast products and compare hex
+// strings, so no external crypto dependency is warranted.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace essex {
+
+/// Incremental SHA-256. update() any number of times, then hex() (or
+/// digest()) to finalize; a finalized hasher must not be updated again.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32 raw digest bytes.
+  std::array<std::uint8_t, 32> digest();
+
+  /// Finalize and return the lowercase hex digest (64 chars).
+  std::string hex();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot convenience: lowercase hex SHA-256 of a byte string.
+std::string sha256_hex(const std::string& bytes);
+
+}  // namespace essex

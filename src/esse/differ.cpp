@@ -30,15 +30,33 @@ la::Matrix AnomalyView::gram() const {
   const std::size_t n = columns.size();
   la::Matrix g(n, n);
   const double scale = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  // Each cached border covers every column that arrived before its
+  // owner, so for any canonical pair the later arrival's border holds
+  // the dot product at the earlier arrival's storage position. The dot
+  // itself was computed once, serially, at absorption time — assembly
+  // order cannot perturb it.
   for (std::size_t j = 0; j < n; ++j) {
-    const la::Vector& row = *columns[j].gram_row;
     for (std::size_t i = 0; i <= j; ++i) {
-      const double v = row[i] * scale;
+      const AnomalyColumn& a = columns[i];
+      const AnomalyColumn& b = columns[j];
+      const AnomalyColumn& later = a.arrival_index >= b.arrival_index ? a : b;
+      const AnomalyColumn& earlier = a.arrival_index >= b.arrival_index ? b : a;
+      const double v = (*later.gram_row)[earlier.arrival_index] * scale;
       g(j, i) = v;
       g(i, j) = v;
     }
   }
   return g;
+}
+
+AnomalyView AnomalyView::prefix(std::size_t n) const {
+  ESSEX_REQUIRE(n <= columns.size(), "prefix exceeds the view size");
+  AnomalyView out;
+  out.columns.assign(columns.begin(),
+                     columns.begin() + static_cast<std::ptrdiff_t>(n));
+  out.version = version;
+  out.state_dim = state_dim;
+  return out;
 }
 
 std::vector<std::size_t> AnomalyView::member_ids() const {
@@ -138,8 +156,11 @@ void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
         col.anomaly = std::move(anom);
         col.gram_row = std::make_shared<const la::Vector>(std::move(border));
         col.member_id = member_id;
+        col.arrival_index = columns_.size();
         columns_.push_back(std::move(col));
         member_id_set_.insert(member_id);
+        while (member_id_set_.count(contiguous_count_) != 0)
+          ++contiguous_count_;
         ++version_;
         break;
       }
@@ -189,6 +210,7 @@ void Differ::rewrite_member(std::size_t member_id,
     la::gram_append(prefix, *col.anomaly, row.data());
     row.back() = la::dot(*col.anomaly, *col.anomaly);
     col.gram_row = std::make_shared<const la::Vector>(std::move(row));
+    col.arrival_index = prefix.size();
     prefix.push_back(col.anomaly.get());
   }
   ++version_;
@@ -201,10 +223,26 @@ std::size_t Differ::count() const {
   return columns_.size();
 }
 
+std::size_t Differ::contiguous_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return contiguous_count_;
+}
+
 std::uint64_t Differ::version() const {
   std::lock_guard<std::mutex> lk(mu_);
   return version_;
 }
+
+namespace {
+
+void sort_canonical(std::vector<AnomalyColumn>& cols) {
+  std::sort(cols.begin(), cols.end(),
+            [](const AnomalyColumn& a, const AnomalyColumn& b) {
+              return a.member_id < b.member_id;
+            });
+}
+
+}  // namespace
 
 AnomalyView Differ::view(std::size_t prefix_cols) const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -214,6 +252,19 @@ AnomalyView Differ::view(std::size_t prefix_cols) const {
   AnomalyView v;
   v.columns.assign(columns_.begin(),
                    columns_.begin() + static_cast<std::ptrdiff_t>(n));
+  sort_canonical(v.columns);
+  v.version = version_;
+  v.state_dim = central_.size();
+  return v;
+}
+
+AnomalyView Differ::contiguous_view() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AnomalyView v;
+  v.columns.reserve(contiguous_count_);
+  for (const AnomalyColumn& c : columns_)
+    if (c.member_id < contiguous_count_) v.columns.push_back(c);
+  sort_canonical(v.columns);
   v.version = version_;
   v.state_dim = central_.size();
   return v;

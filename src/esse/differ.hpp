@@ -49,33 +49,49 @@ struct SpreadSnapshot {
 };
 
 /// One absorbed member: the unnormalised anomaly column plus the border
-/// row of the Gram matrix linking it to every earlier column
-/// (gram_row[i] = aⱼ·aᵢ for i ≤ j, so gram_row.back() is the
-/// self-product). Both payloads are immutable once published; views
-/// share them without copying.
+/// row of the Gram matrix linking it to every column absorbed before it
+/// (gram_row[i] = aⱼ·aᵢ for arrival positions i ≤ j, so gram_row.back()
+/// is the self-product). `arrival_index` is the column's position in the
+/// differ's append-only storage — the key the cached borders are indexed
+/// by. Both payloads are immutable once published; views share them
+/// without copying.
 struct AnomalyColumn {
   std::shared_ptr<const la::Vector> anomaly;
   std::shared_ptr<const la::Vector> gram_row;
   std::size_t member_id = 0;
+  std::size_t arrival_index = 0;
 };
 
-/// Versioned, copy-free column-prefix view over the differ's append-only
-/// column storage — the in-process analogue of the paper's "safe file".
+/// Versioned, copy-free column view over the differ's append-only column
+/// storage — the in-process analogue of the paper's "safe file".
 /// Copying a view copies n shared pointers, never the m×n payload, so
 /// promoting one through a TripleBufferStore costs O(n).
+///
+/// Determinism contract (DESIGN.md §10): columns are ordered by
+/// perturbation index (member_id ascending), NOT by arrival order, so
+/// everything derived from a view — materialized anomaly matrices, the
+/// assembled Gram, U = A·V products — depends only on *which* members it
+/// holds, never on the order the task pool completed them in.
 struct AnomalyView {
-  std::vector<AnomalyColumn> columns;  ///< prefix, shared immutable payloads
-  std::uint64_t version = 0;  ///< differ version the prefix was cut from
+  std::vector<AnomalyColumn> columns;  ///< member_id-sorted, shared payloads
+  std::uint64_t version = 0;  ///< differ version the view was cut from
   std::size_t state_dim = 0;  ///< m
 
   std::size_t count() const { return columns.size(); }
 
-  /// Materialise the normalised m×n anomaly matrix (1/√(n−1) scaling).
+  /// Materialise the normalised m×n anomaly matrix (1/√(n−1) scaling),
+  /// columns in canonical (member_id) order.
   la::Matrix materialize() const;
 
-  /// Assemble the normalised n×n Gram matrix AᵀA from the cached border
-  /// rows — no O(m·n²) product, just O(n²) copies.
+  /// Assemble the normalised n×n Gram matrix AᵀA in canonical order from
+  /// the cached border rows — no O(m·n²) product, just O(n²) lookups.
+  /// Entry (i,j) is read from the border of whichever of the two columns
+  /// arrived later, indexed by the earlier one's arrival position.
   la::Matrix gram() const;
+
+  /// Restrict to the first `n` canonical columns (the n smallest member
+  /// ids in the view) — O(n) pointer copies, shared payloads.
+  AnomalyView prefix(std::size_t n) const;
 
   std::vector<std::size_t> member_ids() const;
 };
@@ -121,12 +137,27 @@ class Differ {
   /// Number of members absorbed so far.
   std::size_t count() const;
 
+  /// Largest c such that members with perturbation indices 0..c-1 have
+  /// all been absorbed — the longest contiguous id prefix. This is the
+  /// arrival-order-free progress measure the deterministic convergence
+  /// schedule keys on: it advances identically for every schedule that
+  /// completes the same members.
+  std::size_t contiguous_count() const;
+
   /// Monotone version: bumped by every add_member / rewrite_member.
   std::uint64_t version() const;
 
-  /// Cut a copy-free view over the first `prefix_cols` columns
-  /// (0 = all columns currently absorbed).
+  /// Cut a copy-free view over the first `prefix_cols` absorbed columns
+  /// (0 = all columns currently absorbed), returned in canonical
+  /// member_id order.
   AnomalyView view(std::size_t prefix_cols = 0) const;
+
+  /// Cut a canonical view over exactly the members with perturbation
+  /// indices 0..contiguous_count()-1, regardless of arrival order or of
+  /// any higher-id members already absorbed. Two schedules that both
+  /// reach contiguous_count() >= c produce bitwise-identical
+  /// contiguous_view().prefix(c) payloads.
+  AnomalyView contiguous_view() const;
 
   /// Materialise the normalised anomaly matrix (the dense "safe file").
   /// Requires count() >= 2.
@@ -154,6 +185,7 @@ class Differ {
   mutable std::mutex mu_;
   std::vector<AnomalyColumn> columns_;  // append-only shared storage
   std::unordered_set<std::size_t> member_id_set_;
+  std::size_t contiguous_count_ = 0;  // ids 0..contiguous_count_-1 absorbed
   std::uint64_t version_ = 0;
   std::uint64_t rewrite_epoch_ = 0;  // invalidates in-flight Gram borders
   telemetry::Sink* sink_ = nullptr;  // nullable, not owned

@@ -18,6 +18,11 @@ ErrorSubspace::ErrorSubspace(la::Matrix modes, la::Vector sigmas)
                     "sigmas must be descending");
     }
   }
+  // P = E Λ Eᵀ is invariant under per-mode sign flips, so every producer
+  // (SVD, eigensolve, analysis update, file load) funnels through one
+  // canonical convention here. This is what keeps serialized subspaces —
+  // and the convergence coefficient's inputs — bit-stable across runs.
+  la::canonicalize_column_signs(modes_);
 }
 
 std::size_t ErrorSubspace::truncation_rank(const la::Vector& s,

@@ -22,7 +22,10 @@ class ErrorSubspace {
   ErrorSubspace() = default;
 
   /// `modes` is m×k with orthonormal columns; `sigmas` holds the k
-  /// non-negative singular values in descending order.
+  /// non-negative singular values in descending order. Mode signs are
+  /// free (P = E Λ Eᵀ either way) and are pinned to the canonical
+  /// convention of la::canonicalize_column_signs on construction, so two
+  /// mathematically-equal subspaces serialize to identical bytes.
   ErrorSubspace(la::Matrix modes, la::Vector sigmas);
 
   /// Build from an SVD of a normalised anomaly matrix, truncating to the

@@ -1,0 +1,56 @@
+#include "esse/repro.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/digest.hpp"
+#include "esse/subspace_io.hpp"
+
+namespace essex::esse {
+
+namespace {
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  // Little-endian, explicitly: the digest must not depend on how the
+  // host lays out integers.
+  for (int i = 0; i < 8; ++i) {
+    const char b = static_cast<char>(v >> (8 * i));
+    out.put(b);
+  }
+}
+
+void put_doubles(std::ostream& out, const la::Vector& v) {
+  put_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+}  // namespace
+
+std::string serialize_forecast_product(const ForecastResult& result) {
+  std::ostringstream out(std::ios::binary);
+  out.write("ESSEXRPR", 8);
+  put_doubles(out, result.central_forecast);
+  put_u64(out, result.forecast_subspace.empty() ? 0 : 1);
+  if (!result.forecast_subspace.empty()) {
+    // Same bytes as the on-disk subspace product file, so "identical
+    // digest" and "identical covariance file" are the same statement.
+    save_subspace(out, result.forecast_subspace);
+    put_doubles(out, result.forecast_subspace.marginal_stddev());
+  }
+  put_u64(out, result.members_run);
+  put_u64(out, result.converged ? 1 : 0);
+  put_u64(out, result.convergence_history.size());
+  for (const ConvergenceTest::Sample& s : result.convergence_history) {
+    put_u64(out, s.n_members);
+    out.write(reinterpret_cast<const char*>(&s.similarity),
+              sizeof(s.similarity));
+  }
+  return std::move(out).str();
+}
+
+std::string forecast_digest(const ForecastResult& result) {
+  return sha256_hex(serialize_forecast_product(result));
+}
+
+}  // namespace essex::esse

@@ -1,0 +1,28 @@
+// ESSEX: canonical forecast-product serialization for the determinism
+// harness (DESIGN.md §10).
+//
+// The bit-reproducibility contract covers the *scientific* outputs of a
+// seeded forecast: the central state, the error subspace (serialized in
+// the same ESXF byte layout the product files use), the derived std-dev
+// map, the convergence history and the canonical member count. The MTC
+// accounting (result.mtc) is deliberately excluded — wall-clock timings,
+// retry counts under real faults and store promotion counts are
+// execution records, not reproducible science.
+#pragma once
+
+#include <string>
+
+#include "esse/cycle.hpp"
+
+namespace essex::esse {
+
+/// Serialize the reproducible fields of a forecast into a canonical byte
+/// string: two runs produce identical bytes iff they produced identical
+/// science.
+std::string serialize_forecast_product(const ForecastResult& result);
+
+/// Lowercase-hex SHA-256 of serialize_forecast_product(result) — the
+/// value the golden replay tests compare and ctest -L determinism pins.
+std::string forecast_digest(const ForecastResult& result);
+
+}  // namespace essex::esse

@@ -3,6 +3,7 @@
 // the format rationale.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "esse/error_subspace.hpp"
@@ -13,7 +14,17 @@ namespace essex::esse {
 /// Throws essex::Error on I/O failure.
 void save_subspace(const std::string& path, const ErrorSubspace& subspace);
 
+/// Stream variant: append the ESXF subspace record to `out`. The byte
+/// layout is identical to the file variant, so in-memory serializations
+/// (the determinism digests of DESIGN.md §10) and on-disk products hash
+/// the same.
+void save_subspace(std::ostream& out, const ErrorSubspace& subspace);
+
 /// Read a subspace saved by save_subspace().
 ErrorSubspace load_subspace(const std::string& path);
+
+/// Stream variant; `name` labels the source in error messages.
+ErrorSubspace load_subspace(std::istream& in,
+                            const std::string& name = "<stream>");
 
 }  // namespace essex::esse

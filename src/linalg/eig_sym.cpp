@@ -73,12 +73,14 @@ EigSym eig_sym(const Matrix& a, int max_sweeps, double sym_tol) {
     }
   }
 
-  // Sort descending.
+  // Sort descending; stable so degenerate eigenvalues keep a
+  // deterministic order for identical inputs.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-    return w(i, i) > w(j, j);
-  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) {
+                     return w(i, i) > w(j, j);
+                   });
 
   EigSym out;
   out.eigenvalues.resize(n);
@@ -88,6 +90,9 @@ EigSym eig_sym(const Matrix& a, int max_sweeps, double sym_tol) {
     for (std::size_t i = 0; i < n; ++i)
       out.eigenvectors(i, j) = v(i, order[j]);
   }
+  // A = VΛVᵀ is invariant under per-column sign flips; pin the free signs
+  // so equal inputs always yield bitwise-equal eigenvectors.
+  canonicalize_column_signs(out.eigenvectors);
   return out;
 }
 

@@ -126,6 +126,26 @@ namespace {
 constexpr std::size_t kBlock = 64;
 }
 
+std::vector<int> canonicalize_column_signs(Matrix& m) {
+  std::vector<int> signs(m.cols(), 1);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double best = 0.0;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const double mag = std::fabs(m(i, j));
+      if (mag > best) {  // strict: ties keep the first (lowest) index
+        best = mag;
+        best_i = i;
+      }
+    }
+    if (best > 0.0 && m(best_i, j) < 0.0) {
+      signs[j] = -1;
+      for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = -m(i, j);
+    }
+  }
+  return signs;
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   ESSEX_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();

@@ -78,6 +78,16 @@ class Matrix {
 
 // ---- BLAS-like kernels -----------------------------------------------
 
+/// Fix the sign freedom of spectral factor columns in place: each column
+/// is flipped, if needed, so that its entry of largest magnitude (the
+/// first such entry on ties) is strictly positive. Eigensolvers and SVDs
+/// are free to return either sign for a mode; this canonical convention
+/// makes mode matrices — and anything derived from them, like serialized
+/// error subspaces — bit-stable across equivalent decompositions.
+/// Returns the column signs applied (+1/-1), so paired factors (U with V)
+/// can be flipped consistently.
+std::vector<int> canonicalize_column_signs(Matrix& m);
+
 /// C = A * B (cache-blocked).
 Matrix matmul(const Matrix& a, const Matrix& b);
 

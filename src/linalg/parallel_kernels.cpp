@@ -11,6 +11,13 @@ namespace essex::la {
 
 namespace {
 
+/// Rows per partial-sum leaf of the Gram reduction tree. The block size
+/// is a constant of the kernel — NOT derived from the thread count — so
+/// the shape of the reduction tree, and therefore the floating-point
+/// summation order, depends only on the operand shapes. Threads merely
+/// pick leaves off a fixed work list.
+constexpr std::size_t kReduceRowBlock = 256;
+
 /// Split [0, n) into at most `parts` contiguous ranges.
 std::vector<std::pair<std::size_t, std::size_t>> split_rows(
     std::size_t n, std::size_t parts) {
@@ -33,34 +40,51 @@ Matrix matmul_at_b_parallel(const Matrix& a, const Matrix& b,
                             ThreadPool& pool) {
   ESSEX_REQUIRE(a.rows() == b.rows(), "matmul_at_b row mismatch");
   const std::size_t m = a.rows(), p = a.cols(), n = b.cols();
-  const auto ranges = split_rows(m, pool.thread_count());
 
-  // Each worker accumulates a private partial Gram; reduce at the end.
-  std::vector<Matrix> partials(ranges.size(), Matrix(p, n));
-  std::vector<std::future<void>> futs;
-  for (std::size_t r = 0; r < ranges.size(); ++r) {
-    futs.push_back(pool.submit([&, r] {
-      const auto [lo, hi] = ranges[r];
-      Matrix& c = partials[r];
-      const double* A = a.data().data();
-      const double* B = b.data().data();
-      double* C = c.data().data();
-      for (std::size_t row = lo; row < hi; ++row) {
-        const double* Arow = A + row * p;
-        const double* Brow = B + row * n;
-        for (std::size_t i = 0; i < p; ++i) {
-          const double ari = Arow[i];
-          if (ari == 0.0) continue;
-          double* Crow = C + i * n;
-          for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
+  // Leaf partials over fixed-size row blocks. Each leaf accumulates its
+  // rows in ascending index order; the leaf boundaries are independent of
+  // the pool, so every run computes the identical set of partial sums.
+  const std::size_t blocks =
+      std::max<std::size_t>(1, (m + kReduceRowBlock - 1) / kReduceRowBlock);
+  std::vector<Matrix> partials(blocks, Matrix(p, n));
+  {
+    std::vector<std::future<void>> futs;
+    futs.reserve(blocks);
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      futs.push_back(pool.submit([&, blk] {
+        const std::size_t lo = blk * kReduceRowBlock;
+        const std::size_t hi = std::min(m, lo + kReduceRowBlock);
+        Matrix& c = partials[blk];
+        const double* A = a.data().data();
+        const double* B = b.data().data();
+        double* C = c.data().data();
+        for (std::size_t row = lo; row < hi; ++row) {
+          const double* Arow = A + row * p;
+          const double* Brow = B + row * n;
+          for (std::size_t i = 0; i < p; ++i) {
+            const double ari = Arow[i];
+            if (ari == 0.0) continue;
+            double* Crow = C + i * n;
+            for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
+          }
         }
-      }
-    }));
+      }));
+    }
+    for (auto& f : futs) f.get();
   }
-  for (auto& f : futs) f.get();
-  Matrix c(p, n);
-  for (const auto& part : partials) c += part;
-  return c;
+
+  // Fixed-shape pairwise reduction: at every level, partial i absorbs
+  // partial i+stride. The tree depends only on `blocks`, never on which
+  // worker finished first, so the summation order is order-invariant.
+  for (std::size_t stride = 1; stride < blocks; stride *= 2) {
+    std::vector<std::future<void>> futs;
+    for (std::size_t i = 0; i + stride < blocks; i += 2 * stride) {
+      futs.push_back(pool.submit(
+          [&, i, stride] { partials[i] += partials[i + stride]; }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  return std::move(partials.front());
 }
 
 Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
@@ -108,6 +132,13 @@ ThinSvd svd_gram_parallel(const Matrix& a, ThreadPool& pool) {
   for (std::size_t j = 0; j < n; ++j) {
     const double inv = (out.s[j] > 1e-300) ? 1.0 / out.s[j] : 0.0;
     for (std::size_t i = 0; i < m; ++i) out.u(i, j) = av(i, j) * inv;
+  }
+  // Same sign convention as the serial SVD paths: canonical U, V follows.
+  const std::vector<int> signs = canonicalize_column_signs(out.u);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (signs[j] < 0) {
+      for (std::size_t i = 0; i < n; ++i) out.v(i, j) = -out.v(i, j);
+    }
   }
   return out;
 }

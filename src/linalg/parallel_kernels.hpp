@@ -14,18 +14,26 @@
 
 namespace essex::la {
 
-/// C = Aᵀ B computed over `pool`, partitioning the shared row dimension.
-/// Bitwise equality with matmul_at_b is NOT guaranteed (summation order
-/// differs); agreement is to rounding.
+/// C = Aᵀ B computed over `pool` with an order-invariant reduction:
+/// fixed-size row-block partial sums merged through a pairwise tree whose
+/// shape depends only on the operand shapes, never on the thread count or
+/// on worker completion order. The result is therefore bitwise identical
+/// across pools of any size (it may still differ from the single-pass
+/// serial matmul_at_b, whose summation order is one long chain).
 Matrix matmul_at_b_parallel(const Matrix& a, const Matrix& b,
                             ThreadPool& pool);
 
-/// C = A B computed over `pool`, partitioning A's rows. Same contract.
+/// C = A B computed over `pool`, partitioning A's rows. Each output
+/// element is accumulated by exactly one worker in ascending inner-index
+/// order, so the result is bitwise identical to the serial loop for any
+/// thread count.
 Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
 
 /// Thin SVD via the Gram method with both heavy products parallelised:
 /// AᵀA over the pool, the small eigendecomposition serial, U = A·V over
-/// the pool. Semantics match svd_thin(a, SvdMethod::kGram).
+/// the pool. Semantics match svd_thin(a, SvdMethod::kGram); both products
+/// use the order-invariant kernels above, so the factors are bitwise
+/// reproducible across thread counts.
 ThinSvd svd_gram_parallel(const Matrix& a, ThreadPool& pool);
 
 }  // namespace essex::la

@@ -92,11 +92,12 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
     sv[j] = std::sqrt(acc);
   }
 
-  // Sort descending.
+  // Sort descending; stable so repeated singular values keep a
+  // deterministic order for identical inputs.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t i, std::size_t j) { return sv[i] > sv[j]; });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return sv[i] > sv[j]; });
 
   ThinSvd out;
   out.s.resize(n);
@@ -110,6 +111,14 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
     const double* vo = v.data() + o * n;
     for (std::size_t i = 0; i < m; ++i) out.u(i, j) = ao[i] * inv;
     for (std::size_t i = 0; i < n; ++i) out.v(i, j) = vo[i];
+  }
+  // Pin the per-mode sign freedom by U's canonical convention; V flips
+  // with U so A = U S Vᵀ still reconstructs.
+  const std::vector<int> signs = canonicalize_column_signs(out.u);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (signs[j] < 0) {
+      for (std::size_t i = 0; i < n; ++i) out.v(i, j) = -out.v(i, j);
+    }
   }
   return out;
 }
@@ -134,6 +143,13 @@ ThinSvd gram_svd_tall(const Matrix& a) {
   for (std::size_t j = 0; j < n; ++j) {
     const double inv = (out.s[j] > 1e-300) ? 1.0 / out.s[j] : 0.0;
     for (std::size_t i = 0; i < m; ++i) out.u(i, j) = av(i, j) * inv;
+  }
+  // Same sign convention as the Jacobi path: canonical U, V follows.
+  const std::vector<int> signs = canonicalize_column_signs(out.u);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (signs[j] < 0) {
+      for (std::size_t i = 0; i < n; ++i) out.v(i, j) = -out.v(i, j);
+    }
   }
   return out;
 }

@@ -83,9 +83,18 @@ BillingMeter::BillingMeter(CloudPricing pricing) : pricing_(pricing) {}
 void BillingMeter::charge_instances(double wall_seconds, std::size_t count,
                                     double price_per_hour) {
   ESSEX_REQUIRE(wall_seconds >= 0, "negative wall time");
+  charge_instance_hours(wall_seconds / 3600.0, count, price_per_hour);
+}
+
+void BillingMeter::charge_instance_hours(double wall_hours, std::size_t count,
+                                         double price_per_hour) {
+  ESSEX_REQUIRE(wall_hours >= 0, "negative wall time");
   // "much like cell-phone charges usage of 1 hour 1 sec counts as 2
-  // hours" — ceiling per instance.
-  const double hours = std::ceil(wall_seconds / 3600.0);
+  // hours" — ceiling per instance. The one-part-in-10¹² slack keeps
+  // round-off from unit conversions (hours → seconds → hours used to
+  // inflate 11 h of usage to 12) below the billing boundary, while any
+  // real overage — 3601 s = 1.00028 h — still rounds up.
+  const double hours = std::ceil(wall_hours * (1.0 - 1e-12));
   instance_hours_ += hours * static_cast<double>(count);
   compute_cost_ += hours * static_cast<double>(count) * price_per_hour;
 }
@@ -112,7 +121,7 @@ double ec2_campaign_cost(double input_gb, std::size_t members,
   meter.charge_transfer_in(input_gb * 1e9);
   meter.charge_transfer_out(static_cast<double>(members) *
                             output_mb_per_member * 1e6);
-  meter.charge_instances(wall_hours * 3600.0, instances, price_per_hour);
+  meter.charge_instance_hours(wall_hours, instances, price_per_hour);
   return meter.total();
 }
 

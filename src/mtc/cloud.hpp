@@ -61,9 +61,17 @@ class BillingMeter {
   explicit BillingMeter(CloudPricing pricing = CloudPricing{});
 
   /// Charge instance time: `wall_seconds` on `count` instances at
-  /// `price_per_hour` each, rounded UP to whole hours per instance.
+  /// `price_per_hour` each, rounded UP to whole hours per instance
+  /// (3600 s bills 1 hour, 3601 s bills 2).
   void charge_instances(double wall_seconds, std::size_t count,
                         double price_per_hour);
+
+  /// Same charge expressed in wall-clock hours. The ceiling forgives
+  /// floating-point round-off: a duration that is a whole number of
+  /// hours up to one part in 10¹² (e.g. 1.1 h × 10 accumulating to
+  /// 11.000000000000002) bills the whole number, not an extra hour.
+  void charge_instance_hours(double wall_hours, std::size_t count,
+                             double price_per_hour);
 
   void charge_transfer_in(double bytes);
   void charge_transfer_out(double bytes);

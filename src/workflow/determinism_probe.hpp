@@ -1,0 +1,36 @@
+// ESSEX: the canonical golden replay run (DESIGN.md §10).
+//
+// One fixed, seeded Fig. 4 forecast — double-gyre 12×10×3 scenario,
+// bootstrap seed 11 — that the determinism harness re-executes under
+// different thread counts and adversarial member-arrival schedules. The
+// golden-digest test (ctest -L determinism) and the regeneration bench
+// (bench_determinism --write-golden) both call these helpers, so the run
+// they pin is the same by construction, not by copy-pasted config.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "esse/cycle.hpp"
+
+namespace essex::workflow {
+
+/// Stable key the golden run's digest is recorded under in
+/// tests/golden/determinism.sha256 (sha256sum line format).
+inline constexpr const char* kGoldenRunKey = "fig4-gyre12x10x3-seed11";
+
+/// Execute the canonical golden run on `threads` worker threads.
+/// `arrival_hook` (optional) is installed as
+/// ParallelRunnerConfig::arrival_hook to impose an adversarial
+/// absorption order; the result must not depend on it.
+esse::ForecastResult golden_forecast(
+    std::size_t threads,
+    std::function<void(std::size_t)> arrival_hook = {});
+
+/// forecast_digest() of golden_forecast(): the hex digest compared
+/// against the checked-in golden value.
+std::string golden_digest(std::size_t threads,
+                          std::function<void(std::size_t)> arrival_hook = {});
+
+}  // namespace essex::workflow

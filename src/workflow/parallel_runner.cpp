@@ -5,6 +5,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "common/error.hpp"
@@ -67,7 +68,7 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
 
   std::mutex mu;
   std::condition_variable cv;
-  std::size_t since_snapshot = 0;
+  std::size_t promoted_milestone = 0;  // last milestone pushed to the store
   std::size_t resolved = 0;  // members with a final outcome
 
   ThreadPool pool(std::max<std::size_t>(cp.threads, 1));
@@ -97,14 +98,23 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
                                    cp.stochastic_members,
                                    cp.perturbation.seed, id);
         if (cancelled.load(std::memory_order_relaxed)) return;
+        if (config.arrival_hook) config.arrival_hook(id);
         differ.add_member(id, xf);  // dedups a speculative duplicate
         if (sink) sink->count("runner.members_run");
+        // Promote when the canonical contiguous-id prefix crosses a new
+        // milestone (a multiple of svd_min_new_members). Keying promotion
+        // on the contiguous count rather than "members since the last
+        // snapshot" is what makes the SVD's inputs schedule-free: a
+        // milestone fires exactly once per run, no matter which worker
+        // lands the member that completes the prefix.
         bool promote = false;
         {
           std::lock_guard<std::mutex> lk(mu);
-          if (++since_snapshot >= config.svd_min_new_members &&
-              differ.count() >= 2) {
-            since_snapshot = 0;
+          const std::size_t milestone =
+              (differ.contiguous_count() / config.svd_min_new_members) *
+              config.svd_min_new_members;
+          if (milestone >= 2 && milestone > promoted_milestone) {
+            promoted_milestone = milestone;
             promote = true;
           }
         }
@@ -114,7 +124,8 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
         // O(n) pointer copies — writers never block behind an O(m·n)
         // matrix copy.
         if (promote) {
-          store.update([&](esse::AnomalyView& v) { v = differ.view(); });
+          store.update(
+              [&](esse::AnomalyView& v) { v = differ.contiguous_view(); });
           if (sink) sink->count("runner.store_promotes");
         }
         cv.notify_all();
@@ -145,6 +156,16 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
   fill_pool();
 
   std::uint64_t last_version = 0;
+  // Deterministic milestone schedule: convergence is checked at ensemble
+  // sizes k·svd_min_new_members over the canonical member-id prefix
+  // 0..c-1, never over "whatever happened to arrive first". The latest
+  // promoted snapshot may cover several newly-completed milestones at
+  // once; they are processed strictly in order, so the ρ history — and
+  // the milestone that declares convergence — is a pure function of the
+  // seed and configuration.
+  std::size_t next_check = config.svd_min_new_members;
+  std::optional<esse::ErrorSubspace> converged_sub;
+  std::size_t converged_members = 0;
   for (;;) {
     // Wait for fresh data or for every member to reach a final outcome
     // (done, or lost after its retries).
@@ -155,17 +176,29 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
       });
     }
     const auto snap = store.read();
-    if (snap.version != last_version && snap.data &&
-        snap.data->count() >= 2) {
+    if (snap.version != last_version && snap.data) {
       last_version = snap.version;
-      ++acct.svd_runs;
-      telemetry::ScopedTimer timer(sink, "runner.svd_s");
-      esse::ErrorSubspace sub = esse::subspace_from_view(
-          *snap.data, cp.variance_fraction, cp.max_rank, nullptr, sink);
-      const auto rho = conv.update(sub, snap.data->count());
-      if (sink && rho) {
-        sink->event("runner.convergence",
-                    static_cast<double>(snap.data->count()), *rho);
+      const std::size_t avail = snap.data->count();
+      while (next_check <= avail && !conv.converged()) {
+        const std::size_t c = next_check;
+        next_check += config.svd_min_new_members;
+        if (c < 2) continue;  // spread needs two members
+        ++acct.svd_runs;
+        telemetry::ScopedTimer timer(sink, "runner.svd_s");
+        esse::ErrorSubspace sub =
+            esse::subspace_from_view(snap.data->prefix(c),
+                                     cp.variance_fraction, cp.max_rank,
+                                     nullptr, sink);
+        const auto rho = conv.update(sub, c);
+        if (sink && rho) {
+          sink->event("runner.convergence", static_cast<double>(c), *rho);
+        }
+        if (conv.converged()) {
+          // The forecast subspace is the converged milestone's — never
+          // recomputed later from the racy post-cancellation member set.
+          converged_sub = std::move(sub);
+          converged_members = c;
+        }
       }
       if (conv.converged()) break;  // §4.1: cancel the remaining members
     }
@@ -197,13 +230,24 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
                 "graceful degradation floor: fewer surviving members than "
                 "FaultPolicy.min_members");
   out.central_forecast = std::move(central);
-  out.forecast_subspace =
-      differ.subspace(cp.variance_fraction, cp.max_rank);
-  out.members_run = differ.count();
+  if (converged_sub) {
+    out.forecast_subspace = std::move(*converged_sub);
+    out.members_run = converged_members;
+  } else {
+    // Drained without convergence (Nmax reached, or survivors of a
+    // faulty run): fall back to every absorbed member in canonical
+    // member-id order — still schedule-free, because which members
+    // completed is decided by the deterministic per-(member, attempt)
+    // injection stream, not by timing.
+    out.forecast_subspace =
+        esse::subspace_from_view(differ.view(), cp.variance_fraction,
+                                 cp.max_rank, nullptr, sink);
+    out.members_run = differ.count();
+  }
   out.converged = conv.converged();
   out.convergence_history = conv.history();
   acct.members_submitted = submitted;
-  acct.members_cancelled = submitted - differ.count();
+  acct.members_cancelled = submitted - out.members_run;
   acct.store_versions = store.version();
   acct.members_failed = fstats.failed_attempts;
   acct.members_retried = fstats.retries;

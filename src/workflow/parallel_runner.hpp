@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "esse/convergence.hpp"
 #include "esse/cycle.hpp"
@@ -38,6 +39,13 @@ struct ParallelRunnerConfig {
   /// Failure injection for tests/benches: attempt (member, k) throws
   /// with `failure_probability`, drawn from a per-attempt RNG stream.
   mtc::FaultInjection inject;
+  /// Test hook, called on the worker thread just before a finished
+  /// member's forecast is absorbed into the differ. The determinism
+  /// harness uses it to impose adversarial absorption orders (hold some
+  /// members back until others have landed); the forecast result must be
+  /// bitwise identical no matter what this does. Leave empty in
+  /// production.
+  std::function<void(std::size_t member_id)> arrival_hook;
 };
 
 /// Everything one forecast invocation needs, in one place: adding a knob
@@ -60,6 +68,16 @@ struct ForecastRequest {
 /// Returns the unified forecast result; `result.mtc` carries the MTC
 /// accounting (pool size, cancellations, SVD runs, store versions) fed by
 /// the recorded metrics.
+///
+/// Determinism contract (DESIGN.md §10): for a fixed configuration and
+/// seed the returned central forecast, subspace, convergence history and
+/// members_run are bitwise identical for any thread count and any member
+/// completion order. Convergence is checked on a fixed milestone schedule
+/// (ensemble sizes k·svd_min_new_members) over the canonical contiguous
+/// member-id prefix, so which members feed each check — and which check
+/// declares convergence — never depends on scheduling. Only the wall-
+/// clock fields of `result.mtc` (timings, store versions, retry counts
+/// under real faults) remain timing-dependent.
 esse::ForecastResult run_parallel_forecast(const ForecastRequest& request);
 
 }  // namespace essex::workflow

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/field_io.hpp"
 #include "common/rng.hpp"
@@ -322,6 +323,33 @@ TEST(FieldIo, AsciiMapConstantFieldDoesNotDivideByZero) {
   f.ny = 4;
   f.values.assign(16, 3.14);
   EXPECT_NO_THROW(ascii_map(f));
+}
+
+// ---- SHA-256 (determinism digests) --------------------------------------
+
+TEST(Digest, MatchesFipsTestVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Digest, IncrementalUpdatesMatchOneShot) {
+  // Split points straddle the 64-byte block boundary the padding logic
+  // cares about.
+  std::string msg;
+  for (int i = 0; i < 200; ++i) msg.push_back(static_cast<char>('a' + i % 26));
+  const std::string expect = sha256_hex(msg);
+  for (std::size_t cut : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{128}}) {
+    Sha256 h;
+    h.update(msg.substr(0, cut));
+    h.update(msg.substr(cut));
+    EXPECT_EQ(h.hex(), expect) << "cut at " << cut;
+  }
 }
 
 }  // namespace

@@ -197,21 +197,31 @@ TEST(DifferConcurrency, ConcurrentWritersVsSnapshotReaders) {
         if (differ.count() < 2) continue;
         const esse::AnomalyView v = differ.view();
         // Versions are monotone per reader, and a view is internally
-        // consistent: column j's cached border always spans 0..j.
+        // consistent: columns are member_id-sorted, each cached border
+        // spans every column that arrived before its owner, and a full
+        // view holds a complete arrival prefix (indices 0..n-1).
         if (v.version < last_version) ++violations;
         last_version = v.version;
+        std::size_t latest = 0, earliest = 0;
         for (std::size_t j = 0; j < v.count(); ++j) {
-          if (v.columns[j].gram_row->size() != j + 1) ++violations;
+          const esse::AnomalyColumn& c = v.columns[j];
+          if (c.gram_row->size() != c.arrival_index + 1) ++violations;
+          if (c.arrival_index >= v.count()) ++violations;
+          if (j > 0 && v.columns[j - 1].member_id >= c.member_id)
+            ++violations;
+          if (c.arrival_index > v.columns[latest].arrival_index) latest = j;
+          if (c.arrival_index < v.columns[earliest].arrival_index)
+            earliest = j;
         }
-        // Spot-check the newest border row against the view's own
-        // columns (identical summation order ⇒ exact match).
-        const std::size_t j = v.count() - 1;
-        const la::Vector& row = *v.columns[j].gram_row;
-        const la::Vector& aj = *v.columns[j].anomaly;
-        const la::Vector& a0 = *v.columns[0].anomaly;
+        // Spot-check a cached border entry against a recomputed dot
+        // (identical summation order ⇒ exact match): the latest
+        // arrival's row at the earliest arrival's position.
+        const la::Vector& row = *v.columns[latest].gram_row;
+        const la::Vector& aj = *v.columns[latest].anomaly;
+        const la::Vector& a0 = *v.columns[earliest].anomaly;
         double acc = 0;
         for (std::size_t i = 0; i < kDim; ++i) acc += a0[i] * aj[i];
-        if (row[0] != acc) ++violations;
+        if (row[v.columns[earliest].arrival_index] != acc) ++violations;
       }
     });
   }

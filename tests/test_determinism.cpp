@@ -1,0 +1,100 @@
+// Golden replay harness for the determinism contract (DESIGN.md §10).
+//
+// The real Fig. 4 runner must produce bitwise-identical forecast
+// products — central state, subspace (= covariance file bytes), std-dev
+// map, ρ history, canonical member count — for a fixed seed, no matter
+// how many worker threads run the ensemble or in what order members are
+// absorbed. The suite replays one canonical run at threads ∈ {1, 4, 8}
+// and under two adversarially shuffled arrival schedules, and pins the
+// digest against the checked-in golden value. Labelled `determinism`:
+// CI runs it in both the default and -fsanitize=thread jobs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/digest.hpp"
+#include "esse/repro.hpp"
+#include "workflow/determinism_probe.hpp"
+
+#ifndef ESSEX_GOLDEN_DIR
+#define ESSEX_GOLDEN_DIR "."
+#endif
+
+namespace essex::workflow {
+namespace {
+
+// The digests are identical runs of real multi-second forecasts; compute
+// each distinct schedule once and share across the assertions below.
+const std::string& digest_threads1() {
+  static const std::string d = golden_digest(1);
+  return d;
+}
+
+const std::string& digest_threads4() {
+  static const std::string d = golden_digest(4);
+  return d;
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeTheForecast) {
+  EXPECT_EQ(digest_threads1(), digest_threads4());
+  EXPECT_EQ(digest_threads1(), golden_digest(8));
+}
+
+TEST(Determinism, AdversarialArrivalSchedulesDoNotChangeTheForecast) {
+  // Schedule A: stall early member ids so high ids are absorbed first —
+  // the reverse of the natural submission order.
+  const std::string reversed = golden_digest(4, [](std::size_t id) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds((23 - id % 24) / 4));
+  });
+  EXPECT_EQ(reversed, digest_threads1());
+
+  // Schedule B: pseudo-random stalls, decorrelated from the id order.
+  const std::string shuffled = golden_digest(4, [](std::size_t id) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds((id * 37 + 11) % 7));
+  });
+  EXPECT_EQ(shuffled, digest_threads1());
+}
+
+TEST(Determinism, SerializedProductIsSelfConsistent) {
+  const esse::ForecastResult res = golden_forecast(2);
+  const std::string bytes = esse::serialize_forecast_product(res);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes.substr(0, 8), "ESSEXRPR");
+  EXPECT_EQ(esse::forecast_digest(res), sha256_hex(bytes));
+  // The digest really does ignore the MTC accounting: two results that
+  // differ only in execution records serialize identically.
+  esse::ForecastResult jittered = res;
+  ASSERT_TRUE(jittered.mtc.has_value());
+  jittered.mtc->svd_runs += 17;
+  jittered.mtc->members_retried += 3;
+  EXPECT_EQ(esse::forecast_digest(jittered), esse::forecast_digest(res));
+}
+
+TEST(Determinism, MatchesCheckedInGoldenDigest) {
+  const std::string path =
+      std::string(ESSEX_GOLDEN_DIR) + "/determinism.sha256";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open())
+      << "missing golden digest file " << path
+      << " — regenerate with: bench_determinism --write-golden";
+  // sha256sum line format: "<hex>  <key>".
+  std::map<std::string, std::string> golden;
+  std::string hex, key;
+  while (f >> hex >> key) golden[key] = hex;
+  const auto it = golden.find(kGoldenRunKey);
+  ASSERT_NE(it, golden.end())
+      << "golden file has no entry for " << kGoldenRunKey;
+  EXPECT_EQ(digest_threads4(), it->second)
+      << "the seeded forecast no longer reproduces the checked-in golden "
+         "digest. If the numerics changed intentionally, regenerate with: "
+         "bench_determinism --write-golden (see DESIGN.md §10).";
+}
+
+}  // namespace
+}  // namespace essex::workflow

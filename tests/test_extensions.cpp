@@ -370,7 +370,8 @@ mtc::ClusterSpec quad_cluster(std::size_t nodes) {
   spec.nfs_capacity_bps = 1e9;
   for (std::size_t i = 0; i < nodes; ++i) {
     mtc::NodeSpec n;
-    n.name = "q" + std::to_string(i);
+    n.name = "q";
+    n.name += std::to_string(i);
     n.cores = 4;
     n.cpu_speed = 1.0;
     spec.nodes.push_back(n);

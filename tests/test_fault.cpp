@@ -357,7 +357,8 @@ ClusterSpec tiny_cluster(std::size_t nodes, std::size_t cores) {
   spec.name = "tiny";
   for (std::size_t i = 0; i < nodes; ++i) {
     NodeSpec n;
-    n.name = "n" + std::to_string(i);
+    n.name = "n";
+    n.name += std::to_string(i);
     n.cores = cores;
     spec.nodes.push_back(n);
   }
@@ -459,7 +460,8 @@ ClusterSpec wf_cluster(std::size_t nodes = 16, std::size_t cores = 2) {
   spec.name = "wf";
   for (std::size_t i = 0; i < nodes; ++i) {
     mtc::NodeSpec n;
-    n.name = "n" + std::to_string(i);
+    n.name = "n";
+    n.name += std::to_string(i);
     n.cores = cores;
     spec.nodes.push_back(n);
   }

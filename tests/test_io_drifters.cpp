@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -90,6 +91,66 @@ TEST(SubspaceIo, RoundTripPreservesModesAndSigmas) {
   for (std::size_t j = 0; j < sub.rank(); ++j)
     EXPECT_DOUBLE_EQ(back.sigmas()[j], sub.sigmas()[j]);
   la::Matrix diff = back.modes();
+  diff -= sub.modes();
+  EXPECT_DOUBLE_EQ(diff.max_abs(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SubspaceIo, EveryHeaderTruncationThrowsTheTruncationError) {
+  // A file cut off at ANY point inside the header must throw. The header
+  // readers used to return zero-initialised garbage on a short read; a
+  // file ending right after the magic then surfaced as "unsupported
+  // version" (or worse, sailed through a check that zero satisfies)
+  // instead of the truncation error.
+  Rng rng(3);
+  la::Matrix e(16, 3);
+  for (auto& v : e.data()) v = rng.normal();
+  la::orthonormalize_columns(e);
+  esse::ErrorSubspace sub(e, {3, 2, 1});
+  const std::string path = "/tmp/essex_subspace_io_short.esxf";
+  esse::save_subspace(path, sub);
+  std::ifstream in(path, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
+  // Header = 4 magic + 4 version + 4 kind + 8 dim + 8 rank = 28 bytes.
+  for (std::size_t cut = 0; cut <= 28; ++cut) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_THROW(esse::load_subspace(path), Error) << "cut at " << cut;
+  }
+  // Cut inside the payload: still the truncation error, as before.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(all.size() - 8));
+  }
+  EXPECT_THROW(esse::load_subspace(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SubspaceIo, StreamAndFileVariantsProduceIdenticalBytes) {
+  // The determinism digests (DESIGN.md §10) hash the stream
+  // serialization; it must be byte-identical to the product file.
+  Rng rng(4);
+  la::Matrix e(20, 4);
+  for (auto& v : e.data()) v = rng.normal();
+  la::orthonormalize_columns(e);
+  esse::ErrorSubspace sub(e, {4, 3, 2, 1});
+  const std::string path = "/tmp/essex_subspace_io_stream.esxf";
+  esse::save_subspace(path, sub);
+  std::ifstream in(path, std::ios::binary);
+  std::string file_bytes((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  std::ostringstream mem(std::ios::binary);
+  esse::save_subspace(mem, sub);
+  EXPECT_EQ(mem.str(), file_bytes);
+  // And the stream loader round-trips it.
+  std::istringstream back(mem.str(), std::ios::binary);
+  const esse::ErrorSubspace loaded = esse::load_subspace(back);
+  EXPECT_EQ(loaded.rank(), sub.rank());
+  la::Matrix diff = loaded.modes();
   diff -= sub.modes();
   EXPECT_DOUBLE_EQ(diff.max_abs(), 0.0);
   std::remove(path.c_str());

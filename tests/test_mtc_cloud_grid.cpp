@@ -147,6 +147,35 @@ TEST(Billing, HourlyRoundingCharges2HoursFor1Hour1Sec) {
   EXPECT_NEAR(m.instance_hours(), 2.0, 1e-9);
 }
 
+TEST(Billing, ExactHourBillsExactlyOneHour) {
+  BillingMeter m;
+  m.charge_instances(3600.0, 1, 0.80);
+  EXPECT_NEAR(m.instance_hours(), 1.0, 1e-9);
+  EXPECT_NEAR(m.compute_cost(), 0.80, 1e-9);
+}
+
+TEST(Billing, FpNoiseInWholeHoursDoesNotBillAnExtraHour) {
+  // (0.1 + 0.2) h × 10 campaigns accumulates to 3.0000000000000004 in
+  // binary floating point. Ceiling that noisy figure used to bill 4
+  // hours for 3 hours of usage; the tolerant ceiling bills 3, while a
+  // real overage (3601 s, tested above) still rounds up.
+  const double hours = (0.1 + 0.2) * 10.0;
+  ASSERT_GT(hours, 3.0);  // the round-off this regression test is about
+  BillingMeter m;
+  m.charge_instance_hours(hours, 1, 1.0);
+  EXPECT_NEAR(m.instance_hours(), 3.0, 1e-9);
+  EXPECT_NEAR(m.compute_cost(), 3.0, 1e-9);
+}
+
+TEST(Billing, CampaignCostUsesWallHoursWithoutARoundTrip) {
+  // The paper's worked example, but with a wall-hours figure carrying
+  // one ulp of accumulated noise ((0.1 + 0.2) × 10): the campaign must
+  // bill 3 hours per instance, not 4.
+  const double cost =
+      ec2_campaign_cost(1.5, 960, 11.0, (0.1 + 0.2) * 10.0, 20, 0.80);
+  EXPECT_NEAR(cost, 0.15 + 1.7952 + 3.0 * 20 * 0.80, 0.01);
+}
+
 TEST(Billing, TransferPricingPerGb) {
   BillingMeter m;
   m.charge_transfer_in(2e9);

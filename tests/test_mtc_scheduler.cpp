@@ -18,7 +18,8 @@ ClusterSpec tiny_cluster(std::size_t nodes = 2, std::size_t cores = 2,
   spec.nfs_capacity_bps = 1000.0;
   for (std::size_t i = 0; i < nodes; ++i) {
     NodeSpec n;
-    n.name = "n" + std::to_string(i);
+    n.name = "n";
+    n.name += std::to_string(i);
     n.cores = cores;
     n.cpu_speed = speed;
     spec.nodes.push_back(n);

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "common/error.hpp"
@@ -335,6 +337,40 @@ TEST(CovarianceFiles, AlternatingPairNeverLeavesStaleLiveFiles) {
     ASSERT_TRUE(back.has_value());
     EXPECT_DOUBLE_EQ(back->sigmas()[0], v + 1.0);
   }
+  store.cleanup();
+}
+
+TEST(CovarianceFiles, FailedPromotionLeavesTheLivePairReadable) {
+  namespace fs = std::filesystem;
+  workflow::CovarianceFileStore store("/tmp/essex_cov_fail");
+  store.cleanup();
+  Rng rng(12);
+  esse::ErrorSubspace sub(ortho_for_files(24, 2, rng), {2.0, 1.0});
+
+  // Block the promote: rename(2) cannot replace a non-empty directory,
+  // so planting one at the safe path fails the promotion step — and only
+  // that step.
+  fs::create_directories(store.safe_path());
+  std::ofstream(store.safe_path() + "/blocker") << "x";
+  EXPECT_THROW(store.publish(sub), Error);
+  EXPECT_EQ(store.version(), 0u);
+
+  // The live file was fully written before the failed rename and must
+  // still be readable — the §4.1 protocol's point is that a broken
+  // promotion never corrupts what the writer already staged.
+  const esse::ErrorSubspace live =
+      esse::load_subspace("/tmp/essex_cov_fail.live.a");
+  EXPECT_NEAR(esse::subspace_similarity(live, sub), 1.0, 1e-12);
+  // A reader polling the safe path sees "nothing promoted", not garbage.
+  EXPECT_FALSE(store.read_safe().has_value());
+
+  // Clearing the obstruction lets the same writer retry: the store does
+  // not advance its alternating pair (or version) on a failed promote.
+  fs::remove_all(store.safe_path());
+  EXPECT_EQ(store.publish(sub), 1u);
+  const auto back = store.read_safe();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(esse::subspace_similarity(*back, sub), 1.0, 1e-12);
   store.cleanup();
 }
 

@@ -27,7 +27,8 @@ ClusterSpec test_cluster() {
   spec.nfs_capacity_bps = 1250e6;
   for (int i = 0; i < 16; ++i) {
     mtc::NodeSpec n;
-    n.name = "n" + std::to_string(i);
+    n.name = "n";
+    n.name += std::to_string(i);
     n.cores = 2;
     n.cpu_speed = 1.0;
     spec.nodes.push_back(n);
