@@ -1,0 +1,126 @@
+#include "common/proptest.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace essex::testkit {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t suite_seed, std::size_t index) {
+  return splitmix(splitmix(suite_seed) ^
+                  (static_cast<std::uint64_t>(index) * 0xD6E8FEB86659FD93ULL));
+}
+
+std::optional<std::uint64_t> env_seed() {
+  const char* raw = std::getenv("ESSEX_PROP_SEED");
+  if (!raw || !*raw) return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(raw, &end, 0);  // base 0: dec/hex
+  if (end == raw || (end && *end != '\0')) return std::nullopt;
+  return v;
+}
+
+std::string failure_banner(const std::string& name, std::size_t case_index,
+                           std::uint64_t seed, std::size_t shrinks) {
+  std::ostringstream os;
+  os << "property '" << name << "' falsified at case " << case_index
+     << " (after " << shrinks << " shrinks)\n  reproduce with: seed="
+     << hex64(seed) << "  e.g.  ESSEX_PROP_SEED=" << hex64(seed);
+  return os.str();
+}
+
+Gen<std::size_t> gen_size(std::size_t lo, std::size_t hi) {
+  Gen<std::size_t> g;
+  g.create = [lo, hi](Rng& rng) {
+    return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
+  };
+  g.shrink = [lo](std::size_t v) {
+    std::vector<std::size_t> cands;
+    if (v > lo) {
+      cands.push_back(lo);                 // jump straight to the floor
+      cands.push_back(lo + (v - lo) / 2);  // then binary-search down
+      if (v - 1 > lo) cands.push_back(v - 1);
+    }
+    // Deduplicate while preserving the aggressive-first order.
+    auto last = std::unique(cands.begin(), cands.end());
+    cands.erase(last, cands.end());
+    return cands;
+  };
+  g.describe = [](const std::size_t& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<double> gen_double(double lo, double hi) {
+  Gen<double> g;
+  g.create = [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+  g.shrink = [lo](double v) {
+    std::vector<double> cands;
+    if (v != lo) {
+      cands.push_back(lo);
+      cands.push_back(lo + (v - lo) / 2.0);
+      const double rounded = static_cast<double>(static_cast<long long>(v));
+      if (rounded != v && rounded >= lo) cands.push_back(rounded);
+    }
+    return cands;
+  };
+  g.describe = [](const double& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<std::vector<std::size_t>> gen_permutation(std::size_t n) {
+  Gen<std::vector<std::size_t>> g;
+  g.create = [n](Rng& rng) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    // Fisher–Yates with the repo Rng (deterministic per seed).
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.uniform_index(i));
+      std::swap(p[i - 1], p[j]);
+    }
+    return p;
+  };
+  g.shrink = [](const std::vector<std::size_t>& p) {
+    // Undo one displacement at a time: swap the first out-of-place
+    // element into place. Converges to the identity permutation.
+    std::vector<std::vector<std::size_t>> cands;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] != i) {
+        std::vector<std::size_t> q = p;
+        const auto it = std::find(q.begin(), q.end(), i);
+        std::swap(q[i], *it);
+        cands.push_back(std::move(q));
+        break;
+      }
+    }
+    return cands;
+  };
+  g.describe = [](const std::vector<std::size_t>& p) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < p.size(); ++i)
+      os << (i ? "," : "") << p[i];
+    os << "]";
+    return os.str();
+  };
+  return g;
+}
+
+}  // namespace essex::testkit

@@ -1,5 +1,6 @@
 #include "common/telemetry.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -147,10 +148,42 @@ void write_sessions_json(const std::string& path,
   ESSEX_REQUIRE(os.good(), "write failed for '" + path + "'");
 }
 
+namespace {
+// Fake-clock state for ScopedFakeClock. `fake_active` is atomic because
+// wall_seconds() may be stamped from worker threads while a test holds
+// the override; the value itself only moves via advance() on the test
+// thread.
+std::atomic<bool> fake_active{false};
+std::atomic<double> fake_now_s{0.0};
+}  // namespace
+
 double wall_seconds() {
+  if (fake_active.load(std::memory_order_acquire))
+    return fake_now_s.load(std::memory_order_acquire);
   using clock = std::chrono::steady_clock;
   static const clock::time_point origin = clock::now();
   return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+ScopedFakeClock::ScopedFakeClock(double start_s) {
+  ESSEX_REQUIRE(!fake_active.load(std::memory_order_acquire),
+                "ScopedFakeClock is not reentrant");
+  fake_now_s.store(start_s, std::memory_order_release);
+  fake_active.store(true, std::memory_order_release);
+}
+
+ScopedFakeClock::~ScopedFakeClock() {
+  fake_active.store(false, std::memory_order_release);
+}
+
+void ScopedFakeClock::advance(double dt_s) {
+  ESSEX_REQUIRE(dt_s >= 0.0, "fake clock cannot run backwards");
+  fake_now_s.store(fake_now_s.load(std::memory_order_acquire) + dt_s,
+                   std::memory_order_release);
+}
+
+double ScopedFakeClock::now() const {
+  return fake_now_s.load(std::memory_order_acquire);
 }
 
 ScopedTimer::ScopedTimer(Sink* sink, std::string name)

@@ -99,8 +99,26 @@ class Sink {
 void write_sessions_json(const std::string& path,
                          const std::vector<const Sink*>& sinks);
 
-/// Monotonic wall clock in seconds (for real-thread timestamps).
+/// Monotonic wall clock in seconds (for real-thread timestamps). Reads
+/// the process clock unless a test has swapped in a fake via
+/// ScopedFakeClock — the same injection idea as the DES
+/// ExecutionBackend's now()/after(), applied to the telemetry stamps.
 double wall_seconds();
+
+/// Test-only clock injection: while alive, wall_seconds() returns the
+/// value of an atomic counter the test advances explicitly, so
+/// span/histogram assertions are exact instead of sleep-and-hope.
+/// Restores the real clock on destruction. Not reentrant.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(double start_s = 0.0);
+  ~ScopedFakeClock();
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+  void advance(double dt_s);
+  double now() const;
+};
 
 /// RAII wall-clock timer: on destruction observes the elapsed seconds
 /// into histogram `name` and appends a matching span. Null sink is a

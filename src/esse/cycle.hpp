@@ -60,6 +60,11 @@ struct MtcAccounting {
   std::size_t members_retried = 0;    ///< re-submissions issued
   std::size_t speculative_launched = 0;
   std::size_t speculative_won = 0;
+  // Member-level final outcomes: every submitted member ends in exactly
+  // one bucket, so members_done + members_cancelled_final + members_lost
+  // == members_submitted (the testkit conservation oracle).
+  std::size_t members_done = 0;            ///< resolved kDone
+  std::size_t members_cancelled_final = 0; ///< resolved kCancelled
   std::size_t members_lost = 0;       ///< retries exhausted, member gone
   bool degraded = false;              ///< converged with N′ < N members
 };

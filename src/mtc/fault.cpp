@@ -256,7 +256,11 @@ void FaultTolerantExecutor::resolve_locked(MemberState& st,
                                            TaskOutcome outcome) {
   st.resolved = true;
   ++members_resolved_;
-  if (outcome != TaskOutcome::kDone && outcome != TaskOutcome::kCancelled) {
+  if (outcome == TaskOutcome::kDone) {
+    ++stats_.members_done;
+  } else if (outcome == TaskOutcome::kCancelled) {
+    ++stats_.members_cancelled;
+  } else {
     ++stats_.members_lost;
     if (sink_) sink_->count("fault.members_lost");
   }

@@ -120,7 +120,13 @@ struct FaultStats {
   std::size_t retries = 0;          ///< re-submissions issued
   std::size_t speculative_launched = 0;
   std::size_t speculative_won = 0;  ///< backup finished before original
-  std::size_t members_lost = 0;     ///< retries exhausted, member gone
+  // Member-level final outcomes. Every dispatched member resolves to
+  // exactly one of these, so for any run
+  //   members_done + members_cancelled + members_lost == dispatched —
+  // the conservation invariant the testkit scenario oracle checks.
+  std::size_t members_done = 0;       ///< resolved kDone
+  std::size_t members_cancelled = 0;  ///< resolved kCancelled
+  std::size_t members_lost = 0;       ///< retries exhausted, member gone
 };
 
 class ExecutionBackend;

@@ -1,0 +1,158 @@
+#include "testkit/differential.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "esse/analysis.hpp"
+#include "esse/cycle.hpp"
+#include "esse/error_subspace.hpp"
+#include "linalg/stats.hpp"
+#include "obs/observation.hpp"
+#include "ocean/monterey.hpp"
+#include "testkit/generators.hpp"
+#include "workflow/parallel_runner.hpp"
+#include "workflow/serial_reference.hpp"
+
+namespace essex::testkit {
+
+namespace {
+
+constexpr double kRhoTolerance = 1e-6;       ///< SVD-path round-off budget
+constexpr double kPosteriorTolerance = 1e-6;  ///< analysis agreement (RMS)
+
+}  // namespace
+
+DifferentialReport run_differential_oracle(std::uint64_t seed,
+                                           std::size_t threads) {
+  ocean::Scenario sc = ocean::make_double_gyre_scenario(10, 8, 3);
+  ocean::OceanModel model(sc.grid, sc.params, ocean::WindForcing(sc.wind),
+                          sc.initial);
+  const esse::ErrorSubspace initial = esse::bootstrap_subspace(
+      model, sc.initial, 0.0, 2.0, 6, 0.99, 6, seed);
+
+  workflow::ParallelRunnerConfig cfg;
+  cfg.cycle.forecast_hours = 2.0;
+  cfg.cycle.convergence = {0.90, 6};
+  cfg.cycle.max_rank = 6;
+  cfg.cycle.ensemble = {8, 2.0, 24};
+  cfg.cycle.perturbation.seed = seed ^ 0xD1FFULL;
+  cfg.svd_min_new_members = 4;
+
+  workflow::ForecastRequest request{model, sc.initial, initial, 0.0, cfg};
+  const esse::ForecastResult serial =
+      workflow::run_serial_reference_forecast(request);
+  request.config.cycle.threads = threads;
+  const esse::ForecastResult mtc = workflow::run_parallel_forecast(request);
+
+  DifferentialReport rep;
+  rep.serial_members = serial.members_run;
+  rep.mtc_members = mtc.members_run;
+  std::ostringstream detail;
+  const auto fail = [&](const std::string& what) {
+    rep.ok = false;
+    detail << "serial-vs-mtc: " << what << " (reproduce: seed=0x" << std::hex
+           << seed << std::dec << ", threads=" << threads << ")\n";
+  };
+
+  if (serial.members_run != mtc.members_run) {
+    std::ostringstream os;
+    os << "member counts diverge: serial " << serial.members_run << " vs mtc "
+       << mtc.members_run;
+    fail(os.str());
+  }
+  if (serial.converged != mtc.converged) {
+    fail(std::string("convergence verdicts diverge: serial ") +
+         (serial.converged ? "converged" : "did not converge") + ", mtc " +
+         (mtc.converged ? "converged" : "did not converge"));
+  }
+
+  // Milestone schedules: both loops must test the subspace at the same
+  // ensemble sizes.
+  if (serial.convergence_history.size() != mtc.convergence_history.size()) {
+    std::ostringstream os;
+    os << "milestone counts diverge: serial "
+       << serial.convergence_history.size() << " checks vs mtc "
+       << mtc.convergence_history.size();
+    fail(os.str());
+  } else {
+    for (std::size_t i = 0; i < serial.convergence_history.size(); ++i) {
+      if (serial.convergence_history[i].n_members !=
+          mtc.convergence_history[i].n_members) {
+        std::ostringstream os;
+        os << "milestone " << i << " tested at different ensemble sizes: "
+           << serial.convergence_history[i].n_members << " vs "
+           << mtc.convergence_history[i].n_members;
+        fail(os.str());
+        break;
+      }
+    }
+  }
+
+  // Central forecasts run the identical seeded member-0 code path in both
+  // drivers, so they must agree bit for bit.
+  if (serial.central_forecast.size() != mtc.central_forecast.size()) {
+    fail("central forecast lengths diverge");
+  } else {
+    for (std::size_t i = 0; i < serial.central_forecast.size(); ++i) {
+      const double d =
+          std::abs(serial.central_forecast[i] - mtc.central_forecast[i]);
+      if (d > rep.central_max_abs_diff) rep.central_max_abs_diff = d;
+    }
+    if (rep.central_max_abs_diff != 0.0) {
+      std::ostringstream os;
+      os << "central forecasts differ, max |delta| = "
+         << rep.central_max_abs_diff;
+      fail(os.str());
+    }
+  }
+
+  // Subspaces agree up to the SVD-path tolerance (the serial loop runs a
+  // dense Jacobi SVD, the runner the incremental Gram-cached path).
+  if (serial.forecast_subspace.empty() || mtc.forecast_subspace.empty()) {
+    fail("a pipeline produced an empty subspace");
+  } else {
+    rep.subspace_rho = esse::subspace_similarity(serial.forecast_subspace,
+                                                 mtc.forecast_subspace);
+    if (rep.subspace_rho < 1.0 - kRhoTolerance) {
+      std::ostringstream os;
+      os << "subspaces disagree: rho = " << rep.subspace_rho << " < 1 - "
+         << kRhoTolerance;
+      fail(os.str());
+    }
+
+    // Feed both subspaces the same observation set and demand the ESSE
+    // analyses agree: the assimilation product, not just the forecast,
+    // is pipeline-invariant.
+    ObsDomain domain;
+    domain.x_hi_km = 55.0;
+    domain.y_hi_km = 55.0;
+    domain.depth_hi_m = 180.0;
+    Rng obs_rng(seed ^ 0x0b5e7ULL);
+    obs::ObservationSet set = gen_observations(domain, 8, 16).create(obs_rng);
+    Rng value_rng(seed ^ 0x76a1ULL);
+    obs::ObsOperator probe(sc.grid, set);
+    const la::Vector at_forecast = probe.apply(serial.central_forecast);
+    for (std::size_t i = 0; i < set.size(); ++i)
+      set[i].value = at_forecast[i] + value_rng.normal(0.0, set[i].noise_std);
+    obs::ObsOperator h(sc.grid, std::move(set));
+
+    const esse::AnalysisResult a_serial =
+        esse::analyze(serial.central_forecast, serial.forecast_subspace, h);
+    const esse::AnalysisResult a_mtc =
+        esse::analyze(mtc.central_forecast, mtc.forecast_subspace, h);
+    rep.posterior_rms_diff =
+        la::rms_diff(a_serial.posterior_state, a_mtc.posterior_state);
+    if (rep.posterior_rms_diff > kPosteriorTolerance) {
+      std::ostringstream os;
+      os << "posterior states disagree: rms diff = " << rep.posterior_rms_diff;
+      fail(os.str());
+    }
+  }
+
+  rep.detail = detail.str();
+  return rep;
+}
+
+}  // namespace essex::testkit

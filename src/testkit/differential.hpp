@@ -1,0 +1,35 @@
+// ESSEX: the serial-vs-MTC differential oracle (DESIGN.md §11).
+//
+// The strongest end-to-end check the testkit owns: run the Fig.-3 serial
+// reference loop and the Fig.-4 MTC pipeline from the *same* seeded
+// ForecastRequest and demand they tell the same scientific story —
+// identical member counts and milestone schedules, bitwise-equal central
+// forecasts, subspaces that coincide up to SVD-path round-off, and ESSE
+// analyses that agree once both subspaces are fed the same observations.
+// Any MTC scheduling bug that leaks into the science (a dropped member, a
+// milestone raced past, a snapshot taken off a torn buffer) breaks one of
+// these clauses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace essex::testkit {
+
+/// Outcome of one serial-vs-MTC comparison.
+struct DifferentialReport {
+  bool ok = true;
+  /// Failure narrative; every line embeds the reproducing seed.
+  std::string detail;
+  std::size_t serial_members = 0;
+  std::size_t mtc_members = 0;
+  double subspace_rho = 0;        ///< similarity serial vs MTC subspace
+  double central_max_abs_diff = 0;  ///< bitwise equality ⇒ exactly 0
+  double posterior_rms_diff = 0;  ///< analyses against shared observations
+};
+
+/// Run both pipelines from `seed` (MTC on `threads` workers) and compare.
+DifferentialReport run_differential_oracle(std::uint64_t seed,
+                                           std::size_t threads = 3);
+
+}  // namespace essex::testkit

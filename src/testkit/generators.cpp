@@ -1,0 +1,260 @@
+#include "testkit/generators.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "linalg/qr.hpp"
+
+namespace essex::testkit {
+
+namespace {
+
+std::size_t draw_size(Rng& rng, std::size_t lo, std::size_t hi) {
+  return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
+}
+
+la::Matrix gaussian_matrix(Rng& rng, std::size_t rows, std::size_t cols,
+                           double scale) {
+  la::Matrix a(rows, cols);
+  for (auto& x : a.data()) x = scale * rng.normal();
+  return a;
+}
+
+std::string shape_str(const la::Matrix& m) {
+  std::ostringstream os;
+  os << m.rows() << "x" << m.cols();
+  return os.str();
+}
+
+}  // namespace
+
+Gen<la::Matrix> gen_matrix(std::size_t rows_lo, std::size_t rows_hi,
+                           std::size_t cols_lo, std::size_t cols_hi,
+                           double scale) {
+  Gen<la::Matrix> g;
+  g.create = [=](Rng& rng) {
+    return gaussian_matrix(rng, draw_size(rng, rows_lo, rows_hi),
+                           draw_size(rng, cols_lo, cols_hi), scale);
+  };
+  g.shrink = [rows_lo, cols_lo](const la::Matrix& m) {
+    std::vector<la::Matrix> cands;
+    if (m.cols() > cols_lo) cands.push_back(m.first_cols(m.cols() - 1));
+    if (m.rows() > rows_lo) {
+      la::Matrix fewer(m.rows() - 1, m.cols());
+      for (std::size_t i = 0; i + 1 < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j) fewer(i, j) = m(i, j);
+      cands.push_back(std::move(fewer));
+    }
+    return cands;
+  };
+  g.describe = [](const la::Matrix& m) { return "matrix " + shape_str(m); };
+  return g;
+}
+
+Gen<la::Matrix> gen_orthonormal(std::size_t m_lo, std::size_t m_hi,
+                                std::size_t k_lo, std::size_t k_hi) {
+  Gen<la::Matrix> g;
+  g.create = [=](Rng& rng) {
+    const std::size_t m = draw_size(rng, m_lo, m_hi);
+    const std::size_t k = std::min(m, draw_size(rng, k_lo, k_hi));
+    la::Matrix a = gaussian_matrix(rng, m, k, 1.0);
+    la::orthonormalize_columns(a);
+    return a;
+  };
+  g.shrink = [k_lo](const la::Matrix& m) {
+    std::vector<la::Matrix> cands;
+    // Dropping columns preserves orthonormality; dropping rows does not.
+    if (m.cols() > std::max<std::size_t>(k_lo, 1))
+      cands.push_back(m.first_cols(m.cols() - 1));
+    return cands;
+  };
+  g.describe = [](const la::Matrix& m) {
+    return "orthonormal " + shape_str(m);
+  };
+  return g;
+}
+
+Gen<esse::ErrorSubspace> gen_subspace(SubspaceOpts opts) {
+  Gen<esse::ErrorSubspace> g;
+  g.create = [opts](Rng& rng) {
+    const std::size_t dim = draw_size(rng, opts.dim_lo, opts.dim_hi);
+    const std::size_t rank =
+        std::min(dim, draw_size(rng, opts.rank_lo, opts.rank_hi));
+    la::Matrix modes = gaussian_matrix(rng, dim, rank, 1.0);
+    la::orthonormalize_columns(modes);
+    la::Vector sigmas(rank);
+    for (auto& s : sigmas) s = rng.uniform(1e-3, opts.sigma_hi);
+    std::sort(sigmas.begin(), sigmas.end(), std::greater<double>());
+    if (opts.allow_degenerate && rank >= 2 && rng.uniform() < 1.0 / 3.0) {
+      // Exact spectral tie between the two leading modes.
+      sigmas[1] = sigmas[0];
+    }
+    if (opts.allow_rank_deficient && rank >= 2 &&
+        rng.uniform() < 1.0 / 3.0) {
+      // Zero out a tail: the covariance is genuinely rank-deficient.
+      const std::size_t zeros = 1 + static_cast<std::size_t>(
+                                        rng.uniform_index(rank - 1));
+      for (std::size_t i = rank - zeros; i < rank; ++i) sigmas[i] = 0.0;
+    }
+    return esse::ErrorSubspace(std::move(modes), std::move(sigmas));
+  };
+  g.shrink = [](const esse::ErrorSubspace& s) {
+    std::vector<esse::ErrorSubspace> cands;
+    if (s.rank() > 1) cands.push_back(s.truncated(s.rank() - 1));
+    return cands;
+  };
+  g.describe = [](const esse::ErrorSubspace& s) {
+    std::ostringstream os;
+    os << "subspace dim=" << s.dim() << " rank=" << s.rank() << " sigmas=[";
+    for (std::size_t i = 0; i < s.rank(); ++i)
+      os << (i ? "," : "") << s.sigmas()[i];
+    os << "]";
+    return os.str();
+  };
+  return g;
+}
+
+Gen<EnsembleCase> gen_ensemble(std::size_t dim_lo, std::size_t dim_hi,
+                               std::size_t n_lo, std::size_t n_hi,
+                               double spread) {
+  Gen<EnsembleCase> g;
+  g.create = [=](Rng& rng) {
+    EnsembleCase e;
+    const std::size_t dim = draw_size(rng, dim_lo, dim_hi);
+    const std::size_t n = draw_size(rng, std::max<std::size_t>(n_lo, 2),
+                                    std::max<std::size_t>(n_hi, 2));
+    e.central = rng.normals(dim);
+    e.members.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      la::Vector x = e.central;
+      for (auto& v : x) v += spread * rng.normal();
+      e.members.push_back(std::move(x));
+    }
+    return e;
+  };
+  g.shrink = [](const EnsembleCase& e) {
+    std::vector<EnsembleCase> cands;
+    if (e.members.size() > 2) {
+      EnsembleCase half = e;
+      half.members.resize(std::max<std::size_t>(2, e.members.size() / 2));
+      cands.push_back(std::move(half));
+      EnsembleCase minus_one = e;
+      minus_one.members.pop_back();
+      cands.push_back(std::move(minus_one));
+    }
+    return cands;
+  };
+  g.describe = [](const EnsembleCase& e) {
+    std::ostringstream os;
+    os << "ensemble dim=" << e.central.size() << " n=" << e.members.size();
+    return os.str();
+  };
+  return g;
+}
+
+Gen<obs::ObservationSet> gen_observations(ObsDomain domain, std::size_t n_lo,
+                                          std::size_t n_hi, double noise_lo,
+                                          double noise_hi) {
+  Gen<obs::ObservationSet> g;
+  g.create = [=](Rng& rng) {
+    const std::size_t n = draw_size(rng, n_lo, n_hi);
+    obs::ObservationSet set;
+    set.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::Observation ob;
+      switch (rng.uniform_index(3)) {
+        case 0: ob.kind = obs::VarKind::kTemperature; break;
+        case 1: ob.kind = obs::VarKind::kSalinity; break;
+        default: ob.kind = obs::VarKind::kSsh; break;
+      }
+      ob.x_km = rng.uniform(0.0, domain.x_hi_km);
+      ob.y_km = rng.uniform(0.0, domain.y_hi_km);
+      ob.depth_m = ob.kind == obs::VarKind::kSsh
+                       ? 0.0
+                       : rng.uniform(0.0, domain.depth_hi_m);
+      ob.noise_std = rng.uniform(noise_lo, noise_hi);
+      set.push_back(ob);
+    }
+    return set;
+  };
+  g.shrink = [n_lo](const obs::ObservationSet& set) {
+    std::vector<obs::ObservationSet> cands;
+    if (set.size() > n_lo) {
+      obs::ObservationSet half(set.begin(),
+                               set.begin() + static_cast<std::ptrdiff_t>(
+                                                 n_lo + (set.size() - n_lo) / 2));
+      cands.push_back(std::move(half));
+      obs::ObservationSet minus_one(set.begin(), set.end() - 1);
+      cands.push_back(std::move(minus_one));
+    }
+    return cands;
+  };
+  g.describe = [](const obs::ObservationSet& set) {
+    return "observation set n=" + std::to_string(set.size());
+  };
+  return g;
+}
+
+Gen<mtc::FaultInjection> gen_fault_schedule(double max_failure_probability,
+                                            bool allow_outages) {
+  Gen<mtc::FaultInjection> g;
+  g.create = [=](Rng& rng) {
+    mtc::FaultInjection inj;
+    inj.failure_probability = rng.uniform(0.0, max_failure_probability);
+    inj.failure_fraction = rng.uniform(0.05, 0.95);
+    if (allow_outages && rng.uniform() < 0.5) {
+      inj.node_mtbf_s = rng.uniform(300.0, 7200.0);
+      inj.node_outage_s = rng.uniform(60.0, 1200.0);
+    }
+    inj.seed = rng();
+    return inj;
+  };
+  g.shrink = [](const mtc::FaultInjection& inj) {
+    std::vector<mtc::FaultInjection> cands;
+    if (inj.node_mtbf_s > 0.0) {
+      mtc::FaultInjection no_outage = inj;
+      no_outage.node_mtbf_s = 0.0;
+      cands.push_back(no_outage);
+    }
+    if (inj.failure_probability > 0.0) {
+      mtc::FaultInjection calmer = inj;
+      calmer.failure_probability = inj.failure_probability > 0.01
+                                       ? inj.failure_probability / 2.0
+                                       : 0.0;
+      cands.push_back(calmer);
+    }
+    return cands;
+  };
+  g.describe = [](const mtc::FaultInjection& inj) {
+    std::ostringstream os;
+    os << "faults p=" << inj.failure_probability
+       << " mtbf=" << inj.node_mtbf_s << "s seed=" << inj.seed;
+    return os.str();
+  };
+  return g;
+}
+
+Gen<std::vector<std::size_t>> gen_arrival_order(std::size_t n) {
+  return gen_permutation(n);
+}
+
+std::function<void(std::size_t)> arrival_hook_from_order(
+    std::vector<std::size_t> order) {
+  // rank[id] = position of member id in the desired order (ids beyond
+  // the order arrive unstalled).
+  auto rank = std::make_shared<std::vector<std::size_t>>(order.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    if (order[pos] < rank->size()) (*rank)[order[pos]] = pos;
+  }
+  return [rank](std::size_t member_id) {
+    if (member_id >= rank->size()) return;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 * (*rank)[member_id]));
+  };
+}
+
+}  // namespace essex::testkit

@@ -1,0 +1,99 @@
+// ESSEX: essex::testkit domain generators (DESIGN.md §11).
+//
+// Seeded, shrinking generators for the objects the DA stack's property
+// tests quantify over: dense and orthonormal matrices, ensembles,
+// error subspaces (including rank-deficient and degenerate spectra),
+// observation sets over a rectangular domain, fault schedules, and
+// adversarial member-arrival orders. All ride on the engine in
+// common/proptest.hpp, so every falsified property prints one seed that
+// replays generation and the deterministic shrink path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/proptest.hpp"
+#include "esse/error_subspace.hpp"
+#include "linalg/matrix.hpp"
+#include "mtc/fault.hpp"
+#include "obs/observation.hpp"
+
+namespace essex::testkit {
+
+/// Dense matrix with i.i.d. N(0, scale²) entries. Shrinks by dropping
+/// the last column, then the last row (keeping at least 1×1).
+Gen<la::Matrix> gen_matrix(std::size_t rows_lo, std::size_t rows_hi,
+                           std::size_t cols_lo, std::size_t cols_hi,
+                           double scale = 1.0);
+
+/// m×k matrix with orthonormal columns (Gaussian + Gram–Schmidt), k <= m.
+Gen<la::Matrix> gen_orthonormal(std::size_t m_lo, std::size_t m_hi,
+                                std::size_t k_lo, std::size_t k_hi);
+
+/// Error-subspace generation knobs.
+struct SubspaceOpts {
+  std::size_t dim_lo = 8, dim_hi = 64;
+  std::size_t rank_lo = 1, rank_hi = 8;
+  double sigma_hi = 2.0;  ///< largest singular value scale
+  /// With probability ~1/3 zero out a tail of the spectrum (the
+  /// rank-deficient edge the analysis must survive).
+  bool allow_rank_deficient = false;
+  /// With probability ~1/3 create exact ties in the spectrum (the
+  /// degenerate case that exercises canonical mode ordering).
+  bool allow_degenerate = false;
+};
+
+/// Random ErrorSubspace per `opts`. Shrinks by truncating one mode.
+Gen<esse::ErrorSubspace> gen_subspace(SubspaceOpts opts = {});
+
+/// A synthetic ensemble: central state plus spread members.
+struct EnsembleCase {
+  la::Vector central;
+  std::vector<la::Vector> members;  ///< member j = central + anomaly_j
+};
+
+/// Ensemble of `n` members about a random central state, anomaly stddev
+/// `spread`. Shrinks by halving/dropping members (down to 2).
+Gen<EnsembleCase> gen_ensemble(std::size_t dim_lo, std::size_t dim_hi,
+                               std::size_t n_lo, std::size_t n_hi,
+                               double spread = 0.5);
+
+/// Rectangular observation domain (matches the scenario grids: x/y in
+/// km from the origin, depth in metres).
+struct ObsDomain {
+  double x_hi_km = 100.0;
+  double y_hi_km = 100.0;
+  double depth_hi_m = 200.0;
+};
+
+/// Observation sets of mixed kinds over `domain` with noise_std in
+/// [noise_lo, noise_hi). Shrinks by dropping observations — all the way
+/// to the empty set, so zero-observation edges get exercised whenever a
+/// property admits them.
+Gen<obs::ObservationSet> gen_observations(ObsDomain domain,
+                                          std::size_t n_lo,
+                                          std::size_t n_hi,
+                                          double noise_lo = 0.05,
+                                          double noise_hi = 1.0);
+
+/// Fault schedules: per-attempt failure probability up to
+/// `max_failure_probability`, optionally with a node-outage process.
+/// Shrinks toward the no-fault schedule.
+Gen<mtc::FaultInjection> gen_fault_schedule(
+    double max_failure_probability = 0.3, bool allow_outages = true);
+
+/// Member-arrival orders for `n` members: a uniformly random permutation
+/// (see gen_permutation) re-exported under the domain name.
+Gen<std::vector<std::size_t>> gen_arrival_order(std::size_t n);
+
+/// Turn an arrival order into a ParallelRunnerConfig::arrival_hook that
+/// stalls each member proportionally to its rank in `order`, biasing the
+/// pool toward absorbing members in that order. Best-effort (real
+/// threads cannot impose an exact global order without deadlocking a
+/// bounded pool) — which is fine, because the determinism contract says
+/// the result must not depend on the realised order at all.
+std::function<void(std::size_t)> arrival_hook_from_order(
+    std::vector<std::size_t> order);
+
+}  // namespace essex::testkit

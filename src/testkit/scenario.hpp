@@ -1,0 +1,97 @@
+// ESSEX: the testkit scenario matrix (DESIGN.md §11).
+//
+// One scenario composes the execution dimensions §5 of the paper varies —
+// execution backend, batch-scheduler policy, input staging, fault regime,
+// ensemble scale — into an end-to-end Fig.-4 run with two legs:
+//
+//  * the DES leg drives run_parallel_esse on a ClusterScheduler
+//    (SimExecutionBackend) with the scenario's scheduler/staging/fault
+//    knobs — the execution model under the calibrated workload shape;
+//  * the science leg drives run_parallel_forecast (ThreadExecutionBackend)
+//    on the real double-gyre fields with a matching fault schedule, twice
+//    (different worker-thread counts), and closes the loop with an ESSE
+//    analysis against a synthetic truth.
+//
+// Every scenario is then checked against the same four invariant oracles:
+//
+//  1. member accounting conserves: done + cancelled + lost == dispatched
+//     (evaluated on the leg owning the scenario's backend);
+//  2. the convergence milestone sequence is strictly monotone (science ρ
+//     history) and the DES SVD sizes never decrease;
+//  3. the analysis error against the synthetic truth is never worse than
+//     the forecast error — exactly in the prior-precision metric (where
+//     the exact-observation update is a provable contraction), and within
+//     a loose relative tolerance in raw RMSE;
+//  4. the two science-leg runs digest identically — the forecast is
+//     thread-count invariant (DESIGN.md §10) even under injected faults.
+//
+// Failures print the scenario name and seed, which reproduce the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "esse/cycle.hpp"
+#include "workflow/esse_workflow_sim.hpp"
+
+namespace essex::testkit {
+
+enum class BackendKind { kSim, kThread };
+enum class SchedulerKind { kSgeLike, kCondorLike };
+enum class IoMode { kNfsDirect, kPrestaged };
+enum class FaultProfile { kNone, kEvictionHeavy };
+enum class EnsembleScale { kSmall, kMedium };
+
+std::string to_string(BackendKind v);
+std::string to_string(SchedulerKind v);
+std::string to_string(IoMode v);
+std::string to_string(FaultProfile v);
+std::string to_string(EnsembleScale v);
+
+/// One cell of the scenario matrix.
+struct ScenarioSpec {
+  BackendKind backend = BackendKind::kSim;
+  SchedulerKind scheduler = SchedulerKind::kSgeLike;
+  IoMode io = IoMode::kPrestaged;
+  FaultProfile fault = FaultProfile::kNone;
+  EnsembleScale scale = EnsembleScale::kSmall;
+  std::uint64_t seed = 0xE55E0005ULL;
+
+  /// Stable id, e.g. "thread-condor-nfs-evict-medium" — what failing
+  /// oracle messages lead with.
+  std::string name() const;
+};
+
+/// The full cross product (2·2·2·2·2 = 32 scenarios), seeds derived per
+/// cell from `seed` so every scenario's randomness is independent.
+std::vector<ScenarioSpec> scenario_matrix(std::uint64_t seed = 0xE55E0005ULL);
+
+/// One oracle's verdict.
+struct OracleCheck {
+  std::string name;
+  bool ok = true;
+  std::string detail;  ///< filled when !ok
+};
+
+/// Everything a scenario run produced, plus the oracle verdicts.
+struct ScenarioOutcome {
+  workflow::WorkflowMetrics des;        ///< DES-leg execution metrics
+  std::vector<double> des_svd_sizes;    ///< member counts per DES SVD run
+  esse::ForecastResult science;         ///< science leg (first run)
+  std::string digest_a;                 ///< science digest, thread count A
+  std::string digest_b;                 ///< science digest, thread count B
+  double forecast_rmse = 0;             ///< central forecast vs truth
+  double analysis_rmse = 0;             ///< posterior state vs truth
+  std::size_t observations_used = 0;
+  std::vector<OracleCheck> oracles;
+
+  bool ok() const;
+  /// Failing oracles, one per line, each carrying the reproduction seed.
+  std::string failures(const ScenarioSpec& spec) const;
+};
+
+/// Execute both legs of `spec` and evaluate all four oracles.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec);
+
+}  // namespace essex::testkit

@@ -110,6 +110,9 @@ void fill_common_metrics(const ClusterScheduler& sched,
                          const std::vector<JobId>& member_jobs,
                          const std::vector<MemberStats>& stats,
                          WorkflowMetrics& m) {
+  // Serial driver: one job per member, so job-level and member-level
+  // accounting coincide.
+  m.members_dispatched = member_jobs.size();
   for (JobId id : member_jobs) {
     const JobRecord& r = sched.record(id);
     switch (r.status) {
@@ -119,11 +122,15 @@ void fill_common_metrics(const ClusterScheduler& sched,
       case JobStatus::kFailed:
       case JobStatus::kEvicted:
         ++m.members_failed;
+        // No retry layer in the Fig.-3 driver: a failed job is a lost
+        // member.
+        ++m.members_lost;
         break;
       case JobStatus::kCancelled:
       case JobStatus::kQueued:
       case JobStatus::kRunning:
         ++m.members_cancelled;
+        ++m.members_cancelled_final;
         // Wasted work = core occupancy of a killed member (its partial
         // segments burnt real node time even though cpu accounting only
         // credits completed segments).
@@ -518,7 +525,13 @@ struct ParallelDriver : std::enable_shared_from_this<ParallelDriver> {
     metrics.members_diffed = diffed;
     exec->cancel_all();
     const mtc::FaultStats fs = exec->stats();
+    metrics.members_dispatched = submitted;
     metrics.members_completed = completed;
+    // Members still unresolved at teardown were killed by cancel_all();
+    // fold them into the final-cancelled tally so member outcomes always
+    // conserve against the dispatched count.
+    metrics.members_cancelled_final =
+        fs.members_cancelled + (submitted - exec->members_resolved());
     metrics.members_retried = fs.retries;
     metrics.members_evicted = fs.evictions;
     metrics.members_lost = fs.members_lost;

@@ -75,7 +75,15 @@ struct EsseWorkflowConfig {
 struct WorkflowMetrics {
   double makespan_s = 0;            ///< workflow start → all results used
   double converged_at_s = 0;        ///< time the convergence test passed
+  /// Distinct ensemble members issued to the pool. Member-level outcomes
+  /// must conserve: completed + cancelled_members + lost == dispatched
+  /// (the testkit scenario oracle enforces this on every run).
+  std::size_t members_dispatched = 0;
   std::size_t members_completed = 0;
+  /// Members whose *final* outcome was cancellation (convergence kill or
+  /// spared-policy kill) — member-level, unlike `members_cancelled`,
+  /// which counts cancelled attempts.
+  std::size_t members_cancelled_final = 0;
   std::size_t members_cancelled = 0;  ///< cancelled attempts (parallel)
   std::size_t members_failed = 0;     ///< failed attempts (parallel)
   std::size_t members_diffed = 0;

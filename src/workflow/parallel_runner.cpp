@@ -249,6 +249,12 @@ esse::ForecastResult run_parallel_forecast(const ForecastRequest& request) {
   acct.members_submitted = submitted;
   acct.members_cancelled = submitted - out.members_run;
   acct.store_versions = store.version();
+  acct.members_done = fstats.members_done;
+  // Members still unresolved when cancel_all() tore the pool down ended
+  // cancelled; fold them in so member outcomes conserve against the
+  // submitted count.
+  acct.members_cancelled_final =
+      fstats.members_cancelled + (submitted - exec.members_resolved());
   acct.members_failed = fstats.failed_attempts;
   acct.members_retried = fstats.retries;
   acct.speculative_launched = fstats.speculative_launched;

@@ -1,0 +1,18 @@
+#include "workflow/serial_reference.hpp"
+
+namespace essex::workflow {
+
+esse::ForecastResult run_serial_reference_forecast(
+    const ForecastRequest& request) {
+  esse::CycleParams cp = request.config.cycle;
+  cp.threads = 1;
+  // Check convergence exactly where the MTC runner's deterministic
+  // milestone schedule does.
+  cp.check_interval = request.config.svd_min_new_members;
+  if (request.sink && !cp.sink) cp.sink = request.sink;
+  return esse::run_uncertainty_forecast(request.model, request.initial,
+                                        request.subspace, request.t0_hours,
+                                        cp);
+}
+
+}  // namespace essex::workflow

@@ -1,0 +1,24 @@
+// ESSEX: the Fig.-3 serial reference forecast, over the unified request.
+//
+// The differential oracle (src/testkit/differential.hpp) needs the
+// block-synchronous serial loop and the Fig.-4 MTC runner to consume the
+// *same* ForecastRequest so their results are comparable term by term.
+// This adapter maps the request onto esse::run_uncertainty_forecast with
+// the serial convergence-check schedule aligned to the runner's milestone
+// schedule (check_interval = svd_min_new_members): both then test the
+// subspace at ensemble sizes k·stride, so a correct MTC pipeline must
+// reproduce the serial ρ history, member count and (within SVD-path
+// tolerance) the subspace itself.
+#pragma once
+
+#include "workflow/parallel_runner.hpp"
+
+namespace essex::workflow {
+
+/// Run the serial (single-threaded, stage-barrier) reference forecast
+/// for `request`. Ignores the MTC-only knobs (pool headroom, fault
+/// policy/injection, arrival hook); `result.mtc` stays empty.
+esse::ForecastResult run_serial_reference_forecast(
+    const ForecastRequest& request);
+
+}  // namespace essex::workflow

@@ -1,29 +1,26 @@
 // Parameterized property sweeps across the DA stack: invariants that
 // must hold for any reasonable configuration, run over grids of
-// parameters (TEST_P / INSTANTIATE_TEST_SUITE_P).
+// parameters (TEST_P / INSTANTIATE_TEST_SUITE_P). Test data comes from
+// the essex::testkit generators, so each sweep point derives from one
+// case seed instead of hand-rolled RNG plumbing.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "common/rng.hpp"
+#include "common/proptest.hpp"
 #include "esse/analysis.hpp"
 #include "esse/cycle.hpp"
 #include "esse/differ.hpp"
 #include "linalg/parallel_kernels.hpp"
-#include "linalg/qr.hpp"
 #include "linalg/stats.hpp"
 #include "obs/instruments.hpp"
 #include "ocean/monterey.hpp"
+#include "testkit/generators.hpp"
 
 namespace essex {
 namespace {
 
-la::Matrix random_orthonormal(std::size_t m, std::size_t k, Rng& rng) {
-  la::Matrix a(m, k);
-  for (auto& x : a.data()) x = rng.normal();
-  la::orthonormalize_columns(a);
-  return a;
-}
+namespace tk = testkit;
 
 // ---- analysis invariants over rank × obs-count ---------------------------------
 
@@ -33,30 +30,34 @@ class AnalysisSweep
 TEST_P(AnalysisSweep, PosteriorNeverInflatesAndAlwaysFitsDataBetter) {
   auto [rank, n_obs, noise] = GetParam();
   auto sc = ocean::make_monterey_scenario(16, 14, 3);
-  Rng rng(rank * 100 + n_obs);
+  Rng rng(tk::case_seed(0xA5EE9, static_cast<std::size_t>(rank * 100 + n_obs)));
   const std::size_t dim = ocean::OceanState::packed_size(sc.grid);
   la::Vector sig(static_cast<std::size_t>(rank));
   for (int j = 0; j < rank; ++j)
     sig[static_cast<std::size_t>(j)] = 1.0 / (1.0 + j);
-  esse::ErrorSubspace sub(
-      random_orthonormal(dim, static_cast<std::size_t>(rank), rng), sig);
+  const std::size_t k = static_cast<std::size_t>(rank);
+  esse::ErrorSubspace sub(tk::gen_orthonormal(dim, dim, k, k).create(rng),
+                          sig);
 
-  // Observations of a displaced truth.
+  // Observations of a displaced truth, placed by the domain generator;
+  // the sweep pins the instrument noise, so only positions are drawn.
   la::Vector forecast = sc.initial.pack();
   la::Vector truth = forecast;
   la::axpy(0.7, sub.modes().col(0), truth);
   ocean::OceanState truth_state(sc.grid);
   truth_state.unpack(truth, sc.grid);
-  obs::ObservationSet set;
-  Rng obs_rng(7);
-  for (int i = 0; i < n_obs; ++i) {
-    obs::Observation ob;
+  tk::ObsDomain domain;
+  domain.x_hi_km = 90.0;
+  domain.y_hi_km = 110.0;
+  domain.depth_hi_m = 100.0;
+  Rng obs_rng(tk::case_seed(0x0b57, static_cast<std::size_t>(n_obs)));
+  obs::ObservationSet set =
+      tk::gen_observations(domain, static_cast<std::size_t>(n_obs),
+                           static_cast<std::size_t>(n_obs))
+          .create(obs_rng);
+  for (auto& ob : set) {
     ob.kind = obs::VarKind::kTemperature;
-    ob.x_km = obs_rng.uniform(5.0, 90.0);
-    ob.y_km = obs_rng.uniform(5.0, 110.0);
-    ob.depth_m = obs_rng.uniform(0.0, 100.0);
     ob.noise_std = noise;
-    set.push_back(ob);
   }
   obs::ObsOperator sampler(sc.grid, set);
   la::Vector clean = sampler.apply(truth_state);
@@ -83,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
 // Monotonicity in observation noise: noisier data → weaker contraction.
 TEST(AnalysisProperties, NoisierObsContractLess) {
   auto sc = ocean::make_monterey_scenario(16, 14, 3);
-  Rng rng(5);
+  Rng rng(tk::case_seed(0xA5EE9, 5));
   const std::size_t dim = ocean::OceanState::packed_size(sc.grid);
-  esse::ErrorSubspace sub(random_orthonormal(dim, 4, rng),
+  esse::ErrorSubspace sub(tk::gen_orthonormal(dim, dim, 4, 4).create(rng),
                           {1.0, 0.7, 0.4, 0.2});
   la::Vector forecast = sc.initial.pack();
   double prev_posterior = -1.0;
@@ -109,23 +110,18 @@ class DifferSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferSweep, SubspaceVarianceMatchesSampleVariance) {
   const int n = GetParam();
-  Rng rng(n);
-  const std::size_t dim = 40;
-  la::Vector central = rng.normals(dim);
-  esse::Differ differ(central);
-  la::Matrix members(dim, static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) {
-    la::Vector x = central;
-    for (auto& v : x) v += 0.5 * rng.normal();
-    members.set_col(static_cast<std::size_t>(j), x);
-    differ.add_member(static_cast<std::size_t>(j), x);
-  }
+  const std::size_t un = static_cast<std::size_t>(n);
+  Rng rng(tk::case_seed(0xD1FF, un));
+  const tk::EnsembleCase e = tk::gen_ensemble(40, 40, un, un, 0.5).create(rng);
+  esse::Differ differ(e.central);
+  for (std::size_t j = 0; j < e.members.size(); ++j)
+    differ.add_member(j, e.members[j]);
   // tr(E Λ Eᵀ) with all modes kept equals the total anomaly "energy"
   // about the central forecast (not the ensemble mean): Σ‖xⱼ−x̂‖²/(n−1).
   esse::ErrorSubspace sub = differ.subspace(1.0, 0);
   double energy = 0;
-  for (int j = 0; j < n; ++j) {
-    la::Vector d = la::sub(members.col(static_cast<std::size_t>(j)), central);
+  for (const la::Vector& member : e.members) {
+    la::Vector d = la::sub(member, e.central);
     energy += la::dot(d, d);
   }
   energy /= static_cast<double>(n - 1);
@@ -134,11 +130,12 @@ TEST_P(DifferSweep, SubspaceVarianceMatchesSampleVariance) {
 
 TEST_P(DifferSweep, ParallelAndSerialSubspacesAgree) {
   const int n = GetParam();
-  Rng rng(n + 1000);
-  const std::size_t dim = 64;
-  esse::Differ differ(la::Vector(dim, 0.0));
-  for (int j = 0; j < n; ++j)
-    differ.add_member(static_cast<std::size_t>(j), rng.normals(dim));
+  const std::size_t un = static_cast<std::size_t>(n);
+  Rng rng(tk::case_seed(0xD1FF + 1, un));
+  const tk::EnsembleCase e = tk::gen_ensemble(64, 64, un, un, 1.0).create(rng);
+  esse::Differ differ(e.central);
+  for (std::size_t j = 0; j < e.members.size(); ++j)
+    differ.add_member(j, e.members[j]);
   esse::ErrorSubspace serial = differ.subspace(0.999, 0);
   ThreadPool pool(3);
   esse::ErrorSubspace parallel = differ.subspace_parallel(pool, 0.999, 0);

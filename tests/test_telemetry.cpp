@@ -251,6 +251,39 @@ TEST(ScopedTimer, NullSinkIsANoOp) {
   ScopedTimer timer(nullptr, "nothing");  // must not crash
 }
 
+// With the injected fake clock the timer's duration is exact — no
+// sleeps, no tolerance bands, no flakes on loaded CI machines.
+TEST(ScopedTimer, FakeClockMakesDurationsDeterministic) {
+  ScopedFakeClock clk(100.0);
+  Sink sink("fake-clock");
+  {
+    ScopedTimer timer(&sink, "phase_s");
+    clk.advance(2.5);
+  }
+  const auto& h = sink.metrics().histogram_at("phase_s");
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+  const auto spans = sink.recorder().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].begin, 100.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 102.5);
+}
+
+TEST(ScopedFakeClock, RestoresTheRealClockOnDestruction) {
+  {
+    ScopedFakeClock clk(7.0);
+    EXPECT_DOUBLE_EQ(wall_seconds(), 7.0);
+    clk.advance(1.0);
+    EXPECT_DOUBLE_EQ(wall_seconds(), 8.0);
+    EXPECT_DOUBLE_EQ(clk.now(), 8.0);
+  }
+  // Back on the monotonic process clock: successive reads never regress
+  // and are nowhere near the fake epoch.
+  const double a = wall_seconds();
+  const double b = wall_seconds();
+  EXPECT_GE(b, a);
+}
+
 // ---- §5 acceptance: paper numbers out of recorded telemetry -------------------
 
 // The full-size workload from the benches: 600 members on the 15-rack

@@ -1,0 +1,244 @@
+// Unit tests of the essex::testkit property-test engine and the domain
+// generators themselves (the tools the scenario/differential suites
+// trust). Labelled `quick`: no ocean model runs here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/proptest.hpp"
+#include "linalg/matrix.hpp"
+#include "testkit/generators.hpp"
+
+namespace tk = essex::testkit;
+using essex::Rng;
+
+namespace {
+
+double column_dot(const essex::la::Matrix& m, std::size_t a, std::size_t b) {
+  double s = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) s += m(i, a) * m(i, b);
+  return s;
+}
+
+}  // namespace
+
+TEST(Proptest, PassingPropertyRunsAllCases) {
+  tk::PropConfig cfg;
+  cfg.name = "size-in-range";
+  cfg.cases = 64;
+  const auto r = tk::check(cfg, tk::gen_size(3, 9), [](std::size_t v) {
+    return v >= 3 && v <= 9;
+  });
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.cases_run, 64u);
+}
+
+TEST(Proptest, FailureShrinksToBoundaryAndReportsSeed) {
+  tk::PropConfig cfg;
+  cfg.name = "always-small";
+  cfg.cases = 200;
+  const auto r = tk::check(cfg, tk::gen_size(0, 1000),
+                           [](std::size_t v) { return v < 5; });
+  ASSERT_FALSE(r.ok);
+  // Greedy shrinking must land exactly on the smallest counterexample.
+  EXPECT_NE(r.message.find("ESSEX_PROP_SEED"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("counterexample"), std::string::npos) << r.message;
+
+  // The advertised seed alone reproduces the shrunk case end to end.
+  Rng replay(r.failing_seed);
+  const std::size_t original = tk::gen_size(0, 1000).create(replay);
+  EXPECT_GE(original, 5u);
+}
+
+TEST(Proptest, ThrowingPropertyIsFalsified) {
+  tk::PropConfig cfg;
+  cfg.name = "throws-on-large";
+  cfg.cases = 100;
+  const auto r = tk::check(cfg, tk::gen_size(0, 100), [](std::size_t v) {
+    if (v > 10) throw std::runtime_error("too big");
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("too big"), std::string::npos) << r.message;
+}
+
+TEST(Proptest, CaseSeedsAreStableAndDistinct) {
+  const std::uint64_t a = tk::case_seed(1, 0);
+  EXPECT_EQ(a, tk::case_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) seeds.insert(tk::case_seed(1, i));
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_NE(tk::case_seed(1, 0), tk::case_seed(2, 0));
+}
+
+TEST(Proptest, EnvSeedReplaysExactlyOneCase) {
+  ASSERT_EQ(setenv("ESSEX_PROP_SEED", "0x1234", 1), 0);
+  tk::PropConfig cfg;
+  cfg.cases = 50;
+  std::vector<std::size_t> seen;
+  const auto r = tk::check(cfg, tk::gen_size(0, 1000),
+                           [&seen](std::size_t v) {
+                             seen.push_back(v);
+                             return true;
+                           });
+  unsetenv("ESSEX_PROP_SEED");
+  ASSERT_TRUE(r.ok) << r.message;
+  ASSERT_EQ(seen.size(), 1u);
+  Rng rng(0x1234);
+  EXPECT_EQ(seen[0], tk::gen_size(0, 1000).create(rng));
+}
+
+TEST(Proptest, PermutationGeneratesValidAndShrinksToIdentity) {
+  tk::PropConfig cfg;
+  cfg.name = "permutation-valid";
+  const auto g = tk::gen_permutation(12);
+  const auto r = tk::check(cfg, g, [](const std::vector<std::size_t>& p) {
+    std::vector<std::size_t> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      if (sorted[i] != i) return false;
+    return p.size() == 12;
+  });
+  ASSERT_TRUE(r.ok) << r.message;
+
+  // Repeated shrinking converges to the identity permutation.
+  Rng rng(7);
+  std::vector<std::size_t> p = g.create(rng);
+  for (int guard = 0; guard < 200; ++guard) {
+    auto cands = g.shrink(p);
+    if (cands.empty()) break;
+    p = cands.front();
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Generators, OrthonormalColumnsAreOrthonormal) {
+  tk::PropConfig cfg;
+  cfg.name = "orthonormal";
+  cfg.cases = 50;
+  const auto r = tk::check(
+      cfg, tk::gen_orthonormal(4, 24, 1, 6), [](const essex::la::Matrix& m) {
+        for (std::size_t a = 0; a < m.cols(); ++a) {
+          for (std::size_t b = a; b < m.cols(); ++b) {
+            const double want = a == b ? 1.0 : 0.0;
+            if (std::abs(column_dot(m, a, b) - want) > 1e-9) return false;
+          }
+        }
+        return true;
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(Generators, MatrixShrinkReducesShape) {
+  const auto g = tk::gen_matrix(2, 6, 2, 6);
+  Rng rng(3);
+  const essex::la::Matrix m = g.create(rng);
+  for (const auto& cand : g.shrink(m)) {
+    EXPECT_LE(cand.rows() * cand.cols(), m.rows() * m.cols());
+    EXPECT_LT(cand.rows() + cand.cols(), m.rows() + m.cols());
+  }
+}
+
+TEST(Generators, SubspaceInvariantsHoldIncludingEdgeSpectra) {
+  tk::SubspaceOpts opts;
+  opts.dim_lo = 6;
+  opts.dim_hi = 24;
+  opts.rank_hi = 5;
+  opts.allow_rank_deficient = true;
+  opts.allow_degenerate = true;
+  tk::PropConfig cfg;
+  cfg.name = "subspace-invariants";
+  cfg.cases = 80;
+  const auto r = tk::check(
+      cfg, tk::gen_subspace(opts), [](const essex::esse::ErrorSubspace& s) {
+        if (s.rank() == 0 || s.dim() < s.rank()) return false;
+        for (std::size_t i = 1; i < s.rank(); ++i)
+          if (s.sigmas()[i] > s.sigmas()[i - 1]) return false;
+        for (std::size_t i = 0; i < s.rank(); ++i)
+          if (s.sigmas()[i] < 0) return false;
+        return true;
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+
+  // The edge knobs genuinely produce edge cases.
+  bool saw_deficient = false, saw_tie = false;
+  for (std::size_t i = 0; i < 200 && !(saw_deficient && saw_tie); ++i) {
+    Rng rng(tk::case_seed(0xED6E, i));
+    const auto s = tk::gen_subspace(opts).create(rng);
+    if (s.rank() >= 2) {
+      if (s.sigmas().back() == 0.0) saw_deficient = true;
+      if (s.sigmas()[0] == s.sigmas()[1] && s.sigmas()[0] > 0) saw_tie = true;
+    }
+  }
+  EXPECT_TRUE(saw_deficient);
+  EXPECT_TRUE(saw_tie);
+}
+
+TEST(Generators, EnsembleKeepsAtLeastTwoMembersThroughShrinking) {
+  const auto g = tk::gen_ensemble(4, 16, 2, 12);
+  Rng rng(5);
+  tk::EnsembleCase e = g.create(rng);
+  ASSERT_GE(e.members.size(), 2u);
+  for (int guard = 0; guard < 64; ++guard) {
+    auto cands = g.shrink(e);
+    if (cands.empty()) break;
+    for (const auto& c : cands) ASSERT_GE(c.members.size(), 2u);
+    e = cands.front();
+  }
+  EXPECT_EQ(e.members.size(), 2u);
+}
+
+TEST(Generators, ObservationsRespectDomainAndShrinkToEmpty) {
+  tk::ObsDomain domain;
+  domain.x_hi_km = 30;
+  domain.y_hi_km = 20;
+  domain.depth_hi_m = 50;
+  const auto g = tk::gen_observations(domain, 0, 10);
+  tk::PropConfig cfg;
+  cfg.name = "obs-in-domain";
+  const auto r = tk::check(cfg, g, [&](const essex::obs::ObservationSet& s) {
+    for (const auto& ob : s) {
+      if (ob.x_km < 0 || ob.x_km > domain.x_hi_km) return false;
+      if (ob.y_km < 0 || ob.y_km > domain.y_hi_km) return false;
+      if (ob.kind == essex::obs::VarKind::kSsh && ob.depth_m != 0.0)
+        return false;
+      if (ob.noise_std <= 0) return false;
+    }
+    return true;
+  });
+  ASSERT_TRUE(r.ok) << r.message;
+
+  Rng rng(9);
+  essex::obs::ObservationSet set = g.create(rng);
+  for (int guard = 0; guard < 64 && !set.empty(); ++guard) {
+    auto cands = g.shrink(set);
+    if (cands.empty()) break;
+    set = cands.back();  // minus-one candidate: strictly smaller
+  }
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Generators, FaultScheduleShrinksTowardNoFaults) {
+  const auto g = tk::gen_fault_schedule(0.3, true);
+  Rng rng(11);
+  essex::mtc::FaultInjection inj = g.create(rng);
+  for (int guard = 0; guard < 64; ++guard) {
+    auto cands = g.shrink(inj);
+    if (cands.empty()) break;
+    inj = cands.front();
+  }
+  EXPECT_EQ(inj.failure_probability, 0.0);
+  EXPECT_EQ(inj.node_mtbf_s, 0.0);
+}
+
+TEST(Generators, ArrivalHookToleratesOutOfRangeMembers) {
+  auto hook = tk::arrival_hook_from_order({2, 0, 1});
+  hook(0);
+  hook(2);
+  hook(99);  // beyond the order: must be a no-op, not a crash
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the baseline.
+
+Reads a gcovr JSON summary (gcovr --json-summary-pretty) and compares
+its overall line_percent against tests/coverage_baseline.txt. The
+baseline only ever moves up: when the measured rate beats the baseline
+by more than the slack, the script prints the new floor so a human can
+commit it.
+
+Usage:
+    python3 tools/check_coverage.py <summary.json> [baseline.txt]
+
+Exit codes: 0 ok, 1 coverage regressed, 2 bad inputs.
+"""
+
+import json
+import sys
+
+# A run can legitimately wobble a little (inlining, template
+# instantiation differences between compiler point releases), so the
+# ratchet allows this much downward slack before failing.
+SLACK_PCT = 0.5
+
+
+def read_baseline(path):
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                return float(line)
+    raise ValueError(f"no baseline number found in {path}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    summary_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else "tests/coverage_baseline.txt"
+
+    with open(summary_path, encoding="utf-8") as fh:
+        summary = json.load(fh)
+    try:
+        measured = float(summary["line_percent"])
+    except (KeyError, TypeError, ValueError):
+        print(f"error: {summary_path} has no usable 'line_percent' field",
+              file=sys.stderr)
+        return 2
+    baseline = read_baseline(baseline_path)
+
+    floor = baseline - SLACK_PCT
+    print(f"line coverage: measured {measured:.2f}%, "
+          f"baseline {baseline:.2f}% (floor {floor:.2f}%)")
+    if measured < floor:
+        print(f"FAIL: coverage regressed below the ratchet floor; "
+              f"either add tests or (with reviewer sign-off) lower "
+              f"{baseline_path}", file=sys.stderr)
+        return 1
+    if measured > baseline + SLACK_PCT:
+        print(f"note: measured rate beats the baseline — consider "
+              f"ratcheting {baseline_path} up to {measured:.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
