@@ -1,0 +1,161 @@
+// Soak bench for the ForecastService redesign: a standing multi-tenant
+// forecast server (the paper's §2/Fig.-1 operational picture) absorbing a
+// day-scale stream of forecast requests over the DES home cluster. The
+// questions a one-shot bench cannot ask:
+//   - does admission keep the queue bounded at sustained near-saturation
+//     load, and what gets refused (queue-full vs deadline-infeasible)?
+//   - what are the p50/p95 submit-to-result latencies per priority class?
+//   - do member-slot budgets rebalance (grow/shrink) as tenants churn,
+//     and does deadline pressure degrade gracefully instead of missing?
+//   - after >=1000 requests, is the member ledger exactly conserved
+//     (zero leaks) and the cluster fully drained?
+//
+// Default is the full soak (1200 requests); pass a count for the CI
+// smoke (e.g. `bench_forecast_service 120`). Series land in results/
+// (CSV + telemetry JSON).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/telemetry.hpp"
+#include "mtc/cluster.hpp"
+#include "mtc/scheduler.hpp"
+#include "mtc/sim.hpp"
+#include "service/forecast_service.hpp"
+#include "service/sim_service.hpp"
+#include "workflow/timeline.hpp"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace essex;
+  using namespace essex::service;
+
+  const std::size_t n_requests =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 1200;
+
+  // The Fig.-1 schedule the deadlines come from: three daily procedure
+  // classes with web-distribution windows of 1.5 h, 2.5 h and 4 h.
+  workflow::ForecastTimeline timeline(0.0, 72.0);
+  timeline.add_procedure({6.0, 7.5, 0.0, 24.0});
+  timeline.add_procedure({12.0, 14.5, 6.0, 36.0});
+  timeline.add_procedure({18.0, 22.0, 12.0, 48.0});
+
+  mtc::Simulator sim;
+  mtc::ClusterScheduler sched(sim, mtc::make_home_cluster(15),
+                              mtc::sge_params());
+
+  telemetry::Sink sink("forecast-service-soak");
+  SimServiceConfig cfg;
+  cfg.max_inflight = 24;
+  cfg.admission.max_queued = 64;
+  cfg.sink = &sink;
+  SimForecastService svc(sim, sched, cfg);
+
+  // Poisson arrivals at ~85% of the fleet's member throughput: loaded
+  // enough that the queue and the admission arithmetic earn their keep,
+  // light enough that the stream eventually drains.
+  Rng rng(0x5C09u);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    arrival += -200.0 * std::log(1.0 - rng.uniform());
+    SimRequestSpec spec;
+    spec.initial_members = 8;
+    spec.growth = 2.0;
+    spec.max_members = 48;
+    spec.min_members = 4;
+    spec.converge_at = 12 + 4 * rng.uniform_index(7);  // 12..36 members
+    spec.priority = static_cast<int>(rng.uniform_index(3));
+    spec.label = "req-" + std::to_string(i);
+    // Two thirds of the stream carries a procedure deadline; the rest is
+    // reanalysis-style work that just wants throughput.
+    if (rng.uniform() < 2.0 / 3.0) {
+      const std::size_t k = rng.uniform_index(timeline.procedures().size());
+      spec.deadline_s = deadline_from_timeline(timeline, k, arrival, 3600.0);
+      spec.expected_cost_s = 3200.0;  // ~2 member waves, admission's hint
+    }
+    sim.at(arrival, [&svc, spec] { svc.submit(spec); });
+  }
+  sim.run();
+
+  const bool drained = svc.idle() && sched.queued_jobs() == 0 &&
+                       sched.running_jobs() == 0;
+  const long long leaked = svc.leaked_members();
+  const ServiceStats st = svc.stats();
+  const double elapsed_s = sim.now();
+  const double utilization =
+      sched.busy_core_seconds() /
+      (elapsed_s * static_cast<double>(sched.schedulable_cores()));
+
+  Table t("ForecastService soak: " + std::to_string(n_requests) +
+          " requests over the home cluster DES");
+  t.set_header({"priority", "requests", "done", "degraded", "rejected",
+                "deadline met", "p50 latency (min)", "p95 latency (min)"});
+  for (int prio = 2; prio >= 0; --prio) {
+    std::size_t requests = 0, done = 0, degraded = 0, rejected = 0;
+    std::size_t met = 0;
+    std::vector<double> latencies;
+    for (const SimRequestOutcome& out : svc.outcomes()) {
+      if (out.priority != prio) continue;
+      ++requests;
+      if (out.state == RequestState::kRejected) {
+        ++rejected;
+        continue;
+      }
+      ++done;
+      if (out.degraded) ++degraded;
+      if (out.deadline_met) ++met;
+      latencies.push_back(out.latency_s());
+    }
+    t.add_row({std::to_string(prio), std::to_string(requests),
+               std::to_string(done), std::to_string(degraded),
+               std::to_string(rejected),
+               Table::num(done ? 100.0 * static_cast<double>(met) /
+                                     static_cast<double>(done)
+                               : 0.0,
+                          1) + "%",
+               Table::num(percentile(latencies, 0.50) / 60.0, 1),
+               Table::num(percentile(latencies, 0.95) / 60.0, 1)});
+  }
+  t.print(std::cout);
+  t.write_csv("results/bench_forecast_service.csv");
+  telemetry::write_sessions_json(
+      "results/bench_forecast_service.telemetry.json", {&sink});
+
+  std::cout << "\nsubmitted " << st.submitted << ", completed "
+            << st.completed << ", rejected queue-full "
+            << st.rejected_queue_full << ", rejected deadline "
+            << st.rejected_deadline << ", deadline missed "
+            << st.deadline_missed << "\n";
+  std::cout << "elasticity: " << st.pool_grow_events
+            << " slot-budget grows, " << st.pool_shrink_events
+            << " shrinks, peak queue " << st.peak_queue << "\n";
+  std::cout << "makespan " << Table::num(elapsed_s / 3600.0, 1)
+            << " h, fleet utilization " << Table::num(100.0 * utilization, 1)
+            << "% of " << sched.schedulable_cores() << " cores\n";
+  std::cout << "member ledger: leaked " << leaked << ", cluster "
+            << (drained ? "drained" : "NOT drained") << "\n";
+  std::cout << "series in results/bench_forecast_service.csv, telemetry "
+               "in results/bench_forecast_service.telemetry.json\n";
+
+  if (leaked != 0 || !drained) {
+    std::cerr << "FAIL: member leak or undrained cluster after soak\n";
+    return 1;
+  }
+  return 0;
+}

@@ -17,7 +17,11 @@
 
 namespace essex {
 
-/// Fixed-size thread pool with FIFO dispatch and cooperative cancellation.
+/// Elastic thread pool with FIFO dispatch and cooperative cancellation.
+/// The worker count can be resized at runtime (ForecastService elasticity):
+/// growing spawns workers that immediately join the running queue, and
+/// shrinking retires workers after their current task — in-flight work is
+/// never interrupted by a resize.
 class ThreadPool {
  public:
   /// Per-task cancellation handle (see the CancelToken submit overload).
@@ -26,6 +30,11 @@ class ThreadPool {
   /// Spawn `n_threads` workers (>= 1).
   explicit ThreadPool(std::size_t n_threads);
   ~ThreadPool();
+
+  /// Grow or shrink the live worker count (>= 1). Growth is immediate;
+  /// excess workers retire cooperatively once they finish their current
+  /// task. Safe to call concurrently with submits.
+  void resize(std::size_t n_threads);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -52,7 +61,8 @@ class ThreadPool {
   /// Block until every queued task has finished (or been cancelled).
   void wait_idle();
 
-  std::size_t thread_count() const { return workers_.size(); }
+  /// Live (non-retired) worker threads.
+  std::size_t thread_count() const;
 
   /// Number of tasks queued but not yet started.
   std::size_t queued() const;
@@ -72,7 +82,7 @@ class ThreadPool {
     CancelToken token;  ///< null = pool-wide cancel flag
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -81,7 +91,13 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool shutting_down_ = false;
   std::atomic<bool> cancel_flag_{false};
+  /// All threads ever spawned; retired slots are joined and left
+  /// default-constructed by resize()'s reap, so the vector only grows by
+  /// the net resize delta, not per churn event.
   std::vector<std::thread> workers_;
+  std::size_t desired_ = 0;             ///< target live worker count
+  std::size_t live_ = 0;                ///< workers not yet retired
+  std::vector<std::size_t> exited_;     ///< retired indices awaiting join
 };
 
 }  // namespace essex

@@ -37,19 +37,38 @@ EnsembleSizeController::EnsembleSizeController(Params params)
   ESSEX_REQUIRE(params.growth > 1.0, "growth factor must exceed 1");
   ESSEX_REQUIRE(params.max_members >= params.initial,
                 "Nmax must be >= the initial size");
+  ESSEX_REQUIRE(params.min_members <= params.max_members,
+                "min_members floor must be <= Nmax");
+}
+
+std::size_t EnsembleSizeController::floor_members() const {
+  return std::min(std::max<std::size_t>(params_.min_members, 2),
+                  params_.max_members);
 }
 
 std::size_t EnsembleSizeController::pool_target(double headroom) const {
-  ESSEX_REQUIRE(headroom >= 1.0, "pool headroom must be >= 1");
-  const auto m = static_cast<std::size_t>(
-      std::ceil(static_cast<double>(target_) * headroom));
-  return std::min(m, params_.max_members);
+  // `!(headroom >= 1.0)` also catches NaN; huge/inf headroom saturates at
+  // Nmax before the double→size_t cast can overflow.
+  const double h = !(headroom >= 1.0) ? 1.0 : headroom;
+  const double m = std::ceil(static_cast<double>(target_) * h);
+  if (!(m < static_cast<double>(params_.max_members))) {
+    return params_.max_members;
+  }
+  return std::max(static_cast<std::size_t>(m), target_);
 }
 
 std::size_t EnsembleSizeController::grow() {
   const auto next = static_cast<std::size_t>(
       std::ceil(static_cast<double>(target_) * params_.growth));
   target_ = std::min(std::max(next, target_ + 1), params_.max_members);
+  return target_;
+}
+
+std::size_t EnsembleSizeController::shrink() {
+  auto next = static_cast<std::size_t>(
+      std::floor(static_cast<double>(target_) / params_.growth));
+  next = std::min(next, target_ > 0 ? target_ - 1 : std::size_t{0});
+  target_ = std::max(next, floor_members());
   return target_;
 }
 

@@ -54,12 +54,19 @@ class ConvergenceTest {
 
 /// Staged ensemble-size schedule: start at N, multiply by `growth` on
 /// each failed convergence test, cap at Nmax (paper §4.1 last paragraph).
+/// The ForecastService additionally drives the schedule *down* under
+/// deadline or multi-tenant pressure: shrink() walks the target back
+/// toward the `min_members` floor, so an elastic runner can hand worker
+/// slots to other requests without restarting the ensemble.
 class EnsembleSizeController {
  public:
   struct Params {
     std::size_t initial = 32;
     double growth = 2.0;
     std::size_t max_members = 512;  ///< Nmax
+    /// Elasticity floor: shrink() never reduces the target below this
+    /// (and never below 2 — a spread needs two members).
+    std::size_t min_members = 2;
   };
 
   explicit EnsembleSizeController(Params params);
@@ -68,18 +75,29 @@ class EnsembleSizeController {
   std::size_t target() const { return target_; }
 
   /// Pool size M ≥ N: keep `headroom` extra members in flight so the SVD
-  /// pipeline never drains while the pool is enlarged.
+  /// pipeline never drains while the pool is enlarged. Degenerate
+  /// headroom is clamped rather than rejected — anything below 1 (or
+  /// non-finite) behaves as 1, and extreme headroom saturates at Nmax —
+  /// so an elastic service can feed it raw policy arithmetic.
   std::size_t pool_target(double headroom = 1.25) const;
 
   /// Enlarge after a failed convergence test; returns the new target.
   /// Saturates at Nmax.
   std::size_t grow();
 
+  /// Walk the target back by one growth stage (inverse of grow());
+  /// returns the new target. Saturates at the min_members floor.
+  std::size_t shrink();
+
   bool at_max() const { return target_ >= params_.max_members; }
+  bool at_min() const { return target_ <= floor_members(); }
 
   const Params& params() const { return params_; }
 
  private:
+  /// Effective shrink floor: max(min_members, 2), capped at Nmax.
+  std::size_t floor_members() const;
+
   Params params_;
   std::size_t target_;
 };

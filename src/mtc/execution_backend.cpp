@@ -130,7 +130,7 @@ TaskId ThreadExecutionBackend::submit(std::size_t member,
     rec.token = token;
     tasks_.emplace(id, std::move(rec));
   }
-  pool_.submit(
+  auto fut = pool_.submit(
       [this, id, member, attempt](const std::atomic<bool>& cancelled) {
         if (!begin_task(id)) return;  // cancelled first; report already out
         bool threw = false;
@@ -142,7 +142,27 @@ TaskId ThreadExecutionBackend::submit(std::size_t member,
         finish_task(id, threw);
       },
       token);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    futures_.push_back(std::move(fut));
+  }
   return id;
+}
+
+void ThreadExecutionBackend::drain_tasks() {
+  // Submits may race the first swaps (a retry timer landing late), so
+  // keep draining until a pass finds nothing new.
+  for (;;) {
+    std::vector<std::future<void>> futs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (futures_.empty()) return;
+      futs.swap(futures_);
+    }
+    // wait() never throws; a skipped (cancelled-before-start) task parks
+    // TaskCancelled in the future, which we deliberately never get().
+    for (auto& f : futs) f.wait();
+  }
 }
 
 bool ThreadExecutionBackend::begin_task(TaskId id) {

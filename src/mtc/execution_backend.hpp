@@ -130,8 +130,17 @@ class ThreadExecutionBackend final : public ExecutionBackend {
   void after(double delay_s, std::function<void()> fn) override;
   void set_report_hook(ReportHook hook) override;
 
-  /// Join the timer thread and drop pending timers. Call after the pool
-  /// is idle and before destroying whatever the report hook points at.
+  /// Block until every attempt submitted through this backend has fully
+  /// retired from the pool — ran to completion, or was skipped by a
+  /// worker after cancellation. Unlike ThreadPool::wait_idle() this waits
+  /// only on *this backend's* tasks, so concurrent forecasts sharing one
+  /// persistent pool (ForecastService) tear down independently. After it
+  /// returns, no pool worker can re-enter this backend.
+  void drain_tasks();
+
+  /// Join the timer thread and drop pending timers. Call after
+  /// drain_tasks() and before destroying whatever the report hook points
+  /// at.
   void shutdown_timers();
 
  private:
@@ -159,6 +168,7 @@ class ThreadExecutionBackend final : public ExecutionBackend {
   mutable std::mutex mu_;
   std::unordered_map<TaskId, TaskRec> tasks_;
   TaskId next_id_ = 1;
+  std::vector<std::future<void>> futures_;  ///< one per submitted attempt
 
   // Timer thread state.
   std::mutex timer_mu_;

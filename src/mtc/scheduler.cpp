@@ -118,17 +118,6 @@ ClusterScheduler::ClusterScheduler(Simulator& sim, ClusterSpec cluster,
       cluster_(std::move(cluster)),
       params_(params),
       outage_rng_(params.faults.seed, 0xFA177ULL) {
-  // Deprecation shim: honour the loose pre-FaultInjection knobs when the
-  // consolidated struct was left untouched.
-  if (params_.faults.failure_probability == 0.0 &&
-      params_.failure_probability > 0.0) {
-    params_.faults.failure_probability = params_.failure_probability;
-    params_.faults.failure_fraction = params_.failure_fraction;
-  }
-  if (params_.faults.seed == FaultInjection{}.seed) {
-    params_.faults.seed = params_.seed;
-  }
-  outage_rng_ = Rng(params_.faults.seed, 0xFA177ULL);
   nfs_ = std::make_unique<BandwidthResource>(
       sim_, cluster_.nfs_capacity_bps, cluster_.name + "-nfs");
   busy_cores_.resize(cluster_.nodes.size(), 0);

@@ -106,16 +106,8 @@ struct SchedulerParams {
   /// Strict FIFO: a queued multi-core job that does not fit blocks the
   /// queue. false = the dispatcher may backfill later jobs that fit.
   bool strict_fifo = false;
-  /// Failure injection (per-job deaths, node outages). The consolidated
-  /// home of the former loose failure knobs below.
+  /// Failure injection (per-job deaths, node outages).
   FaultInjection faults;
-  /// DEPRECATED — use faults.failure_probability. Merged into `faults`
-  /// at scheduler construction when `faults` is untouched.
-  double failure_probability = 0.0;
-  /// DEPRECATED — use faults.failure_fraction.
-  double failure_fraction = 0.5;
-  /// DEPRECATED — use faults.seed.
-  std::uint64_t seed = 1234;
 };
 
 /// SGE-like defaults.

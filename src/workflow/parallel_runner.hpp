@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "esse/convergence.hpp"
 #include "esse/cycle.hpp"
@@ -64,10 +66,41 @@ struct ForecastRequest {
   telemetry::Sink* sink = nullptr;
 };
 
+/// One named problem with a request's configuration. A server must be
+/// able to *reject* a malformed request instead of aborting, so the
+/// validation surface returns data rather than firing ESSEX_REQUIRE:
+/// the ForecastService maps a non-empty issue list onto a structured
+/// kInvalidRequest rejection, while the one-shot entry points join the
+/// messages into the PreconditionError they always threw.
+struct ValidationIssue {
+  std::string field;    ///< dotted path, e.g. "config.pool_headroom"
+  std::string message;  ///< human-readable constraint that failed
+};
+
+/// Check every documented constraint of the runner configuration.
+/// Returns an empty vector when the config is well-formed.
+std::vector<ValidationIssue> validate(const ParallelRunnerConfig& config);
+
+/// Check the full request: the config's constraints plus the
+/// state-vs-subspace dimension agreement.
+std::vector<ValidationIssue> validate(const ForecastRequest& request);
+
+/// Join issues into one "field: message; field: message" line (for
+/// exceptions and rejection payloads). Empty string for no issues.
+std::string describe(const std::vector<ValidationIssue>& issues);
+
 /// Run the uncertainty forecast with the Fig. 4 pipeline on real threads.
 /// Returns the unified forecast result; `result.mtc` carries the MTC
 /// accounting (pool size, cancellations, SVD runs, store versions) fed by
 /// the recorded metrics.
+///
+/// Since the ForecastService redesign this is a thin convenience wrapper:
+/// it validates the request (throwing PreconditionError on issues, as it
+/// always has), stands up a one-request essex::service::ForecastService
+/// sized to `config.cycle.threads`, and blocks on the handle — so every
+/// caller, bench and testkit oracle exercises the service path. The
+/// definition lives in src/service/forecast_service.cpp; link
+/// essex_service.
 ///
 /// Determinism contract (DESIGN.md §10): for a fixed configuration and
 /// seed the returned central forecast, subspace, convergence history and

@@ -400,21 +400,6 @@ TEST(FaultInjectionRng, JobFatesAreKeyedByJobIdNotDrawOrder) {
   EXPECT_EQ(small, large_first50);
 }
 
-TEST(FaultInjectionRng, DeprecatedKnobsAliasTheConsolidatedOnes) {
-  Simulator sim;
-  SchedulerParams legacy = sge_params();
-  legacy.failure_probability = 0.3;  // deprecated spelling
-  legacy.seed = 97;
-  ClusterScheduler sched(sim, tiny_cluster(4, 2), legacy);
-  for (std::size_t i = 0; i < 50; ++i) sched.submit(compute_job(10.0));
-  sim.run();
-  std::set<JobId> failed;
-  for (const auto& r : sched.records()) {
-    if (r.status == JobStatus::kFailed) failed.insert(r.id);
-  }
-  EXPECT_EQ(failed, failing_jobs(50));  // same fates either spelling
-}
-
 // ---- node outages ---------------------------------------------------------------
 
 TEST(NodeOutages, EvictRunningJobsAndRecover) {
