@@ -60,7 +60,7 @@ int main() {
   add(nfs, "86", "~20%");
   add(dap, "'less desirable'", "-");
   t.print(std::cout);
-  t.write_csv("bench_local_cluster_io.csv");
+  t.write_csv("results/bench_local_cluster_io.csv");
   telemetry::write_sessions_json("results/bench_local_cluster_io.telemetry.json",
                                  {&local, &nfs, &dap});
 

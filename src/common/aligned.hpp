@@ -1,0 +1,63 @@
+// ESSEX: cache-line-aligned allocation for numeric hot paths.
+//
+// The SIMD kernel pass (DESIGN.md §13) wants every dense buffer on a
+// 64-byte boundary: vector loads never split a cache line, streaming
+// kernels start on an even lane boundary, and the alignment is a
+// property the tests can assert instead of an accident of malloc.
+// AlignedAllocator is a drop-in std::vector allocator; Matrix and the
+// differ's column arena both build on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace essex {
+
+/// Minimal C++17-style allocator returning `Align`-byte-aligned blocks.
+/// Align must be a power of two and a multiple of alignof(T).
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align % alignof(T) == 0, "alignment too small for T");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // operator new with align_val_t is the portable aligned path (no
+    // aligned_alloc size-rounding pitfalls).
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// True when `p` sits on an `align`-byte boundary.
+inline bool is_aligned(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+}  // namespace essex

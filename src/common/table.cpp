@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -55,6 +56,13 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::write_csv(const std::string& path) const {
+  // Result files conventionally land under results/; create the parent
+  // so benches can be run from a fresh build tree.
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
   std::ofstream f(path);
   if (!f) throw Error("cannot open CSV output: " + path);
   auto emit = [&](const std::vector<std::string>& row) {

@@ -8,6 +8,7 @@
 #include "common/telemetry.hpp"
 #include "linalg/eig_sym.hpp"
 #include "linalg/gram.hpp"
+#include "linalg/simd.hpp"
 
 namespace essex::esse {
 
@@ -19,7 +20,7 @@ la::Matrix AnomalyView::materialize() const {
       n > 1 ? 1.0 / std::sqrt(static_cast<double>(n - 1)) : 1.0;
   double* out = a.data().data();
   for (std::size_t j = 0; j < n; ++j) {
-    const la::Vector& col = *columns[j].anomaly;
+    const std::span<const double> col = columns[j].anomaly;
     for (std::size_t i = 0; i < state_dim; ++i)
       out[i * n + j] = col[i] * scale;
   }
@@ -54,6 +55,7 @@ AnomalyView AnomalyView::prefix(std::size_t n) const {
   AnomalyView out;
   out.columns.assign(columns.begin(),
                      columns.begin() + static_cast<std::ptrdiff_t>(n));
+  out.storage = storage;
   out.version = version;
   out.state_dim = state_dim;
   return out;
@@ -100,9 +102,9 @@ ErrorSubspace subspace_from_view(const AnomalyView& view,
   // turns the O(m·n²) recovery into O(m·n·r).
   const std::size_t r =
       ErrorSubspace::truncation_rank(s, variance_fraction, max_rank);
-  std::vector<const la::Vector*> cols;
+  std::vector<la::ColSpan> cols;
   cols.reserve(n);
-  for (const AnomalyColumn& c : view.columns) cols.push_back(c.anomaly.get());
+  for (const AnomalyColumn& c : view.columns) cols.push_back(c.anomaly);
   const double scale = 1.0 / std::sqrt(static_cast<double>(n - 1));
   la::Matrix u = la::columns_matmul(cols, eig.eigenvectors, r, scale, pool);
   for (std::size_t j = 0; j < r; ++j) {
@@ -121,26 +123,32 @@ ErrorSubspace subspace_from_view(const AnomalyView& view,
 
 Differ::Differ(la::Vector central) : central_(std::move(central)) {
   ESSEX_REQUIRE(!central_.empty(), "central forecast must be non-empty");
+  // Slabs big enough for several columns each, so a growing ensemble
+  // allocates O(n / slab_cols) times, not O(n).
+  arena_ = std::make_shared<la::ColumnArena>(
+      std::max<std::size_t>(std::size_t{1} << 16, central_.size() * 8));
 }
 
 void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
   ESSEX_REQUIRE(forecast.size() == central_.size(),
                 "member forecast dimension mismatch");
-  auto anom = std::make_shared<la::Vector>(central_.size());
-  for (std::size_t i = 0; i < anom->size(); ++i)
-    (*anom)[i] = forecast[i] - central_[i];
+  const std::span<double> anom = arena_->allocate(central_.size());
+  for (std::size_t i = 0; i < anom.size(); ++i)
+    anom[i] = forecast[i] - central_[i];
 
   // Catch-up loop: the Gram border is computed outside the lock against
   // whatever columns are already published (they are immutable), then the
   // lock is retaken — if more members landed meanwhile, absorb their
   // columns too and retry. Writers therefore only serialise for the O(1)
-  // append, never for the O(m·k) dot products.
+  // append, never for the O(m·k) dot products. Span copies of published
+  // columns stay valid outside the lock: the arena never reclaims, even
+  // across a concurrent rewrite (whose epoch bump discards our border).
   la::Vector border;  // border[i] = aᵢ·anom for i < border.size()
   std::uint64_t epoch = 0;
   bool have_epoch = false;
   std::size_t computed = 0;
   for (;;) {
-    std::vector<std::shared_ptr<const la::Vector>> keep;
+    std::vector<la::ColSpan> prev;
     {
       std::lock_guard<std::mutex> lk(mu_);
       ESSEX_REQUIRE(member_id_set_.find(member_id) == member_id_set_.end(),
@@ -151,9 +159,9 @@ void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
       epoch = rewrite_epoch_;
       have_epoch = true;
       if (columns_.size() == border.size()) {
-        border.push_back(la::dot(*anom, *anom));
+        border.push_back(la::simd::kernels().sumsq(anom.data(), anom.size()));
         AnomalyColumn col;
-        col.anomaly = std::move(anom);
+        col.anomaly = anom;
         col.gram_row = std::make_shared<const la::Vector>(std::move(border));
         col.member_id = member_id;
         col.arrival_index = columns_.size();
@@ -164,19 +172,14 @@ void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
         ++version_;
         break;
       }
-      // Hold shared ownership while computing outside the lock: a
-      // concurrent rewrite_member may drop the store's own reference.
-      keep.reserve(columns_.size() - border.size());
+      prev.reserve(columns_.size() - border.size());
       for (std::size_t i = border.size(); i < columns_.size(); ++i)
-        keep.push_back(columns_[i].anomaly);
+        prev.push_back(columns_[i].anomaly);
     }
-    std::vector<const la::Vector*> ptrs;
-    ptrs.reserve(keep.size());
-    for (const auto& p : keep) ptrs.push_back(p.get());
     const std::size_t old = border.size();
-    border.resize(old + ptrs.size());
-    la::gram_append(ptrs, *anom, border.data() + old);
-    computed += ptrs.size();
+    border.resize(old + prev.size());
+    la::gram_append(prev, anom, border.data() + old);
+    computed += prev.size();
   }
   if (sink_)
     sink_->count("differ.gram_cols_computed",
@@ -187,12 +190,11 @@ void Differ::rewrite_member(std::size_t member_id,
                             const la::Vector& forecast) {
   ESSEX_REQUIRE(forecast.size() == central_.size(),
                 "member forecast dimension mismatch");
-  auto anom = std::make_shared<const la::Vector>([&] {
-    la::Vector a(central_.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-      a[i] = forecast[i] - central_[i];
-    return a;
-  }());
+  // Fresh arena span; the old one is abandoned, not freed, so readers
+  // holding views cut before the rewrite stay valid.
+  const std::span<double> anom = arena_->allocate(central_.size());
+  for (std::size_t i = 0; i < anom.size(); ++i)
+    anom[i] = forecast[i] - central_[i];
 
   std::lock_guard<std::mutex> lk(mu_);
   auto it = std::find_if(columns_.begin(), columns_.end(),
@@ -200,18 +202,29 @@ void Differ::rewrite_member(std::size_t member_id,
                            return c.member_id == member_id;
                          });
   ESSEX_REQUIRE(it != columns_.end(), "rewrite of an unknown member id");
-  it->anomaly = std::move(anom);
+  it->anomaly = anom;
   // Every later border row references the rewritten column: rebuild the
-  // whole cache. This is the documented full-recompute path (O(m·n²)).
-  std::vector<const la::Vector*> prefix;
-  prefix.reserve(columns_.size());
-  for (AnomalyColumn& col : columns_) {
-    la::Vector row(prefix.size() + 1);
-    la::gram_append(prefix, *col.anomaly, row.data());
-    row.back() = la::dot(*col.anomaly, *col.anomaly);
-    col.gram_row = std::make_shared<const la::Vector>(std::move(row));
-    col.arrival_index = prefix.size();
-    prefix.push_back(col.anomaly.get());
+  // whole cache. This is the documented full-recompute path (O(m·n²)),
+  // fused into kDotBlockCols-wide batches so each earlier column is
+  // streamed from memory once per batch instead of once per column.
+  const std::size_t n = columns_.size();
+  std::vector<la::ColSpan> all;
+  all.reserve(n);
+  for (const AnomalyColumn& col : columns_) all.push_back(col.anomaly);
+  std::vector<la::Vector> row_store;
+  row_store.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) row_store.emplace_back(j + 1);
+  const std::span<const la::ColSpan> cols(all);
+  for (std::size_t j0 = 0; j0 < n; j0 += la::simd::kDotBlockCols) {
+    const std::size_t width = std::min(n - j0, la::simd::kDotBlockCols);
+    std::vector<double*> rows(width);
+    for (std::size_t w = 0; w < width; ++w) rows[w] = row_store[j0 + w].data();
+    la::gram_border_rows(cols.first(j0), cols.subspan(j0, width), rows);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    columns_[j].gram_row =
+        std::make_shared<const la::Vector>(std::move(row_store[j]));
+    columns_[j].arrival_index = j;
   }
   ++version_;
   ++rewrite_epoch_;
@@ -253,6 +266,7 @@ AnomalyView Differ::view(std::size_t prefix_cols) const {
   v.columns.assign(columns_.begin(),
                    columns_.begin() + static_cast<std::ptrdiff_t>(n));
   sort_canonical(v.columns);
+  v.storage = arena_;
   v.version = version_;
   v.state_dim = central_.size();
   return v;
@@ -265,6 +279,7 @@ AnomalyView Differ::contiguous_view() const {
   for (const AnomalyColumn& c : columns_)
     if (c.member_id < contiguous_count_) v.columns.push_back(c);
   sort_canonical(v.columns);
+  v.storage = arena_;
   v.version = version_;
   v.state_dim = central_.size();
   return v;

@@ -27,11 +27,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "esse/error_subspace.hpp"
+#include "linalg/arena.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 
@@ -55,8 +57,13 @@ struct SpreadSnapshot {
 /// differ's append-only storage — the key the cached borders are indexed
 /// by. Both payloads are immutable once published; views share them
 /// without copying.
+///
+/// The anomaly span points into the differ's 64-byte-aligned ColumnArena
+/// (never freed before the arena dies), so a column handle is two
+/// machine words; AnomalyView's `storage` pointer keeps the arena alive
+/// for detached views.
 struct AnomalyColumn {
-  std::shared_ptr<const la::Vector> anomaly;
+  std::span<const double> anomaly;
   std::shared_ptr<const la::Vector> gram_row;
   std::size_t member_id = 0;
   std::size_t arrival_index = 0;
@@ -74,6 +81,7 @@ struct AnomalyColumn {
 /// holds, never on the order the task pool completed them in.
 struct AnomalyView {
   std::vector<AnomalyColumn> columns;  ///< member_id-sorted, shared payloads
+  std::shared_ptr<const la::ColumnArena> storage;  ///< keeps spans alive
   std::uint64_t version = 0;  ///< differ version the view was cut from
   std::size_t state_dim = 0;  ///< m
 
@@ -183,6 +191,9 @@ class Differ {
  private:
   la::Vector central_;
   mutable std::mutex mu_;
+  // Column payloads; never freed while any view's keepalive survives, so
+  // a rewrite can abandon an old span under concurrent readers.
+  std::shared_ptr<la::ColumnArena> arena_;
   std::vector<AnomalyColumn> columns_;  // append-only shared storage
   std::unordered_set<std::size_t> member_id_set_;
   std::size_t contiguous_count_ = 0;  // ids 0..contiguous_count_-1 absorbed

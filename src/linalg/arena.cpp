@@ -1,0 +1,38 @@
+#include "linalg/arena.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace essex::la {
+
+ColumnArena::ColumnArena(std::size_t slab_doubles)
+    : slab_doubles_(std::max<std::size_t>(slab_doubles, kAlignDoubles)) {}
+
+std::span<double> ColumnArena::allocate(std::size_t n) {
+  if (n == 0) return {};
+  const std::size_t padded =
+      (n + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slabs_.empty() || used_ + padded > slabs_.back().size()) {
+    slabs_.emplace_back(std::max(slab_doubles_, padded), 0.0);
+    used_ = 0;
+  }
+  double* p = slabs_.back().data() + used_;
+  used_ += padded;
+  allocated_ += n;
+  ESSEX_ASSERT(is_aligned(p, 64), "arena allocation lost alignment");
+  return {p, n};
+}
+
+std::size_t ColumnArena::allocated_doubles() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return allocated_;
+}
+
+std::size_t ColumnArena::slab_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slabs_.size();
+}
+
+}  // namespace essex::la

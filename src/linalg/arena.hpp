@@ -1,0 +1,60 @@
+// ESSEX: append-only 64-byte-aligned column arena.
+//
+// The differ's anomaly columns are individually immutable and live as
+// long as the store does, which is exactly the shape a bump allocator
+// wants: allocations are O(1) appends into large aligned slabs, columns
+// are packed back to back instead of scattered across the heap, and
+// every column starts on a cache-line boundary so the SIMD kernels
+// (simd.hpp) stream them with aligned full-width loads.
+//
+// The arena NEVER frees or reuses memory before destruction. That is a
+// feature, not a leak: a span handed out stays valid for the arena's
+// whole lifetime, so readers holding views need only keep the arena
+// alive (one shared_ptr), never per-column ownership. A rewritten
+// column simply allocates a fresh span and abandons the old one — any
+// concurrent reader still pointing at it remains safe.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace essex::la {
+
+class ColumnArena {
+ public:
+  /// `slab_doubles` is the granularity of the backing allocations;
+  /// oversized requests get a dedicated slab.
+  explicit ColumnArena(std::size_t slab_doubles = 1u << 16);
+
+  ColumnArena(const ColumnArena&) = delete;
+  ColumnArena& operator=(const ColumnArena&) = delete;
+
+  /// A zero-initialised span of `n` doubles whose data() is 64-byte
+  /// aligned. Thread-safe; the span stays valid until the arena dies.
+  std::span<double> allocate(std::size_t n);
+
+  /// Total doubles handed out (excluding alignment padding).
+  std::size_t allocated_doubles() const;
+
+  /// Number of backing slabs.
+  std::size_t slab_count() const;
+
+ private:
+  using Slab = std::vector<double, AlignedAllocator<double, 64>>;
+
+  // Doubles per cache line: each allocation is rounded up to this so
+  // the NEXT allocation also starts 64-byte aligned.
+  static constexpr std::size_t kAlignDoubles = 64 / sizeof(double);
+
+  mutable std::mutex mu_;
+  std::size_t slab_doubles_;
+  std::size_t used_ = 0;       // doubles consumed in the current slab
+  std::size_t allocated_ = 0;  // doubles handed out across all slabs
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace essex::la

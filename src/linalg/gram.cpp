@@ -4,42 +4,38 @@
 #include <future>
 
 #include "common/error.hpp"
+#include "linalg/simd.hpp"
 
 namespace essex::la {
 
 namespace {
 
-// Columns per block: eight accumulators fit comfortably in registers and
-// let one streaming pass over new_col feed eight dot products.
-constexpr std::size_t kColBlock = 8;
+// Columns per fused dot block: the dispatch layer streams one pass of
+// the shared operand through up to this many accumulator sets.
+constexpr std::size_t kColBlock = simd::kDotBlockCols;
 
 // Serial blocked border over the column range [lo, hi).
-void gram_append_range(const std::vector<const Vector*>& cols,
-                       const Vector& new_col, double* out, std::size_t lo,
-                       std::size_t hi) {
+void gram_append_range(std::span<const ColSpan> cols, ColSpan new_col,
+                       double* out, std::size_t lo, std::size_t hi) {
+  const auto& kern = simd::kernels();
   const std::size_t m = new_col.size();
   const double* x = new_col.data();
   for (std::size_t b0 = lo; b0 < hi; b0 += kColBlock) {
     const std::size_t b1 = std::min(hi, b0 + kColBlock);
     const std::size_t width = b1 - b0;
     const double* c[kColBlock] = {};
-    double acc[kColBlock] = {};
-    for (std::size_t w = 0; w < width; ++w) c[w] = cols[b0 + w]->data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const double xi = x[i];
-      for (std::size_t w = 0; w < width; ++w) acc[w] += c[w][i] * xi;
-    }
-    for (std::size_t w = 0; w < width; ++w) out[b0 + w] = acc[w];
+    for (std::size_t w = 0; w < width; ++w) c[w] = cols[b0 + w].data();
+    kern.dot_block(c, width, x, m, out + b0);
   }
 }
 
 }  // namespace
 
-void gram_append(const std::vector<const Vector*>& cols,
-                 const Vector& new_col, double* out, ThreadPool* pool) {
+void gram_append(std::span<const ColSpan> cols, ColSpan new_col, double* out,
+                 ThreadPool* pool) {
   const std::size_t k = cols.size();
-  for (const Vector* c : cols) {
-    ESSEX_REQUIRE(c != nullptr && c->size() == new_col.size(),
+  for (const ColSpan& c : cols) {
+    ESSEX_REQUIRE(c.size() == new_col.size(),
                   "gram_append column length mismatch");
   }
   if (k == 0) return;
@@ -62,42 +58,96 @@ void gram_append(const std::vector<const Vector*>& cols,
   for (auto& f : futs) f.get();
 }
 
-Matrix gram_from_columns(const std::vector<const Vector*>& cols,
-                         double scale, ThreadPool* pool) {
+void gram_border_rows(std::span<const ColSpan> cached,
+                      std::span<const ColSpan> group,
+                      std::span<double* const> rows, ThreadPool* pool) {
+  const std::size_t k = cached.size();
+  const std::size_t g = group.size();
+  ESSEX_REQUIRE(rows.size() == g, "gram_border_rows row count mismatch");
+  if (g == 0) return;
+  const std::size_t m = group.front().size();
+  for (const ColSpan& c : cached)
+    ESSEX_REQUIRE(c.size() == m, "gram_border_rows column length mismatch");
+  for (const ColSpan& c : group)
+    ESSEX_REQUIRE(c.size() == m, "gram_border_rows column length mismatch");
+
+  const auto& kern = simd::kernels();
+
+  // Dots against the cached columns: for each cached column one fused
+  // dot_block per kColBlock-wide slice of the group, so the cached
+  // column is streamed from memory once per slice (once total for the
+  // differ's ≤kColBlock batches) while the slice stays cache-hot.
+  // dot_block(group, cached_i) is bitwise dot(cached_i, group_w): the
+  // canonical fma lanes commute their multiplicands.
+  auto against_cached = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b0 = 0; b0 < g; b0 += kColBlock) {
+      const std::size_t width = std::min(g - b0, kColBlock);
+      const double* c[kColBlock] = {};
+      for (std::size_t w = 0; w < width; ++w) c[w] = group[b0 + w].data();
+      double tmp[kColBlock];
+      for (std::size_t i = lo; i < hi; ++i) {
+        kern.dot_block(c, width, cached[i].data(), m, tmp);
+        for (std::size_t w = 0; w < width; ++w) rows[b0 + w][i] = tmp[w];
+      }
+    }
+  };
+
+  const std::size_t threads = pool ? pool->thread_count() : 1;
+  if (pool == nullptr || threads <= 1 || k < 2 * kColBlock) {
+    against_cached(0, k);
+  } else {
+    std::vector<std::future<void>> futs;
+    const std::size_t per = (k + threads - 1) / threads;
+    for (std::size_t lo = 0; lo < k; lo += per) {
+      const std::size_t hi = std::min(k, lo + per);
+      futs.push_back(pool->submit([&, lo, hi] { against_cached(lo, hi); }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // Intra-group triangle (earlier group members + the self product):
+  // small — at most kColBlock rows of at most kColBlock entries.
+  for (std::size_t w = 0; w < g; ++w) {
+    for (std::size_t b0 = 0; b0 <= w; b0 += kColBlock) {
+      const std::size_t width = std::min(w + 1 - b0, kColBlock);
+      const double* c[kColBlock] = {};
+      for (std::size_t u = 0; u < width; ++u) c[u] = group[b0 + u].data();
+      kern.dot_block(c, width, group[w].data(), m, rows[w] + k + b0);
+    }
+  }
+}
+
+Matrix gram_from_columns(std::span<const ColSpan> cols, double scale,
+                         ThreadPool* pool) {
   const std::size_t n = cols.size();
   Matrix g(n, n);
-  std::vector<const Vector*> prefix;
-  prefix.reserve(n);
-  Vector border(n);
+  std::vector<Vector> row_store;
+  row_store.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) row_store.emplace_back(j + 1);
+  for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const std::size_t width = std::min(n - j0, kColBlock);
+    std::vector<double*> rows(width);
+    for (std::size_t w = 0; w < width; ++w) rows[w] = row_store[j0 + w].data();
+    gram_border_rows(cols.first(j0), cols.subspan(j0, width), rows, pool);
+  }
   for (std::size_t j = 0; j < n; ++j) {
-    ESSEX_REQUIRE(cols[j] != nullptr, "gram_from_columns null column");
-    gram_append(prefix, *cols[j], border.data(), pool);
-    {
-      const double* cj = cols[j]->data();
-      double acc = 0.0;
-      for (std::size_t i = 0; i < cols[j]->size(); ++i) acc += cj[i] * cj[i];
-      border[j] = acc;
-    }
     for (std::size_t i = 0; i <= j; ++i) {
-      const double v = border[i] * scale;
+      const double v = row_store[j][i] * scale;
       g(j, i) = v;
       g(i, j) = v;
     }
-    prefix.push_back(cols[j]);
   }
   return g;
 }
 
-Matrix columns_matmul(const std::vector<const Vector*>& cols,
-                      const Matrix& v, std::size_t r, double scale,
-                      ThreadPool* pool) {
+Matrix columns_matmul(std::span<const ColSpan> cols, const Matrix& v,
+                      std::size_t r, double scale, ThreadPool* pool) {
   const std::size_t n = cols.size();
   ESSEX_REQUIRE(v.rows() == n, "columns_matmul: V row count mismatch");
   ESSEX_REQUIRE(r <= v.cols(), "columns_matmul: r exceeds V columns");
-  const std::size_t m = n ? cols.front()->size() : 0;
-  for (const Vector* c : cols) {
-    ESSEX_REQUIRE(c != nullptr && c->size() == m,
-                  "columns_matmul column length mismatch");
+  const std::size_t m = n ? cols.front().size() : 0;
+  for (const ColSpan& c : cols) {
+    ESSEX_REQUIRE(c.size() == m, "columns_matmul column length mismatch");
   }
   Matrix out(m, r);
   if (m == 0 || r == 0) return out;
@@ -106,15 +156,10 @@ Matrix columns_matmul(const std::vector<const Vector*>& cols,
     double* o = out.data().data();
     const double* vd = v.data().data();
     const std::size_t vcols = v.cols();
-    for (std::size_t c = 0; c < n; ++c) {
-      const double* col = cols[c]->data();
-      const double* vrow = vd + c * vcols;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const double a = col[i] * scale;
-        double* orow = o + i * r;
-        for (std::size_t j = 0; j < r; ++j) orow[j] += a * vrow[j];
-      }
-    }
+    const auto& kern = simd::kernels();
+    for (std::size_t c = 0; c < n; ++c)
+      kern.col_axpy_scaled(cols[c].data() + lo, hi - lo, scale,
+                           vd + c * vcols, r, o + lo * r);
   };
 
   const std::size_t threads = pool ? pool->thread_count() : 1;

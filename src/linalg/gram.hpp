@@ -8,12 +8,16 @@
 // product, so a convergence check over an append-only anomaly store
 // drops from O(m·n²) to a small n×n eigensolve plus U = A·V.
 //
-// Columns live as individually-owned contiguous vectors (the in-process
-// analogue of the paper's per-member result files), so every kernel here
-// takes a span of column pointers rather than a packed Matrix.
+// Columns live as contiguous spans (arena-backed in the differ — the
+// in-process analogue of the paper's per-member result files), so every
+// kernel here takes a span of column spans rather than a packed Matrix.
+// All dot products go through the canonical reduction shape of the SIMD
+// dispatch layer (simd.hpp), so a border entry is bitwise identical to
+// la::dot of the two columns on every dispatch tier.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -21,27 +25,42 @@
 
 namespace essex::la {
 
+/// Read-only handle to one stored column.
+using ColSpan = std::span<const double>;
+
 /// The new Gram border: out[i] = cols[i]·new_col for every stored
 /// column. Blocked over small groups of columns so `new_col` streams
 /// through cache once per group instead of once per column; with `pool`
 /// the groups are spread across the workers. `out` must hold
 /// cols.size() doubles. All columns must share new_col's length.
-void gram_append(const std::vector<const Vector*>& cols,
-                 const Vector& new_col, double* out,
+void gram_append(std::span<const ColSpan> cols, ColSpan new_col, double* out,
                  ThreadPool* pool = nullptr);
+
+/// Fused border batch for full rebuilds: `group` holds g consecutive new
+/// columns (their storage positions follow the `cached` columns), and
+/// rows[w] receives group[w]'s whole border row of cached.size()+w+1
+/// entries — the dots against every cached column, against the earlier
+/// group members, and the self-product. Each cached column is streamed
+/// from memory ONCE for the whole group (the group stays cache-hot)
+/// instead of once per new column; every entry is still bitwise equal to
+/// the one-column gram_append path.
+void gram_border_rows(std::span<const ColSpan> cached,
+                      std::span<const ColSpan> group,
+                      std::span<double* const> rows,
+                      ThreadPool* pool = nullptr);
 
 /// Full symmetric Gram build G = scale · AᵀA over column storage (the
 /// forced-recompute path, e.g. after a smoother rewrites past columns):
-/// one blocked border per column, mirrored into the upper triangle.
-Matrix gram_from_columns(const std::vector<const Vector*>& cols,
-                         double scale = 1.0, ThreadPool* pool = nullptr);
+/// fused borders over column groups, mirrored into the upper triangle.
+Matrix gram_from_columns(std::span<const ColSpan> cols, double scale = 1.0,
+                         ThreadPool* pool = nullptr);
 
 /// U = scale · A·V over column storage, first `r` columns of V only:
 /// out(i,j) = scale · Σ_c cols[c][i] · v(c,j) for j < r ≤ v.cols().
 /// v must have cols.size() rows. With `pool` the row dimension is
 /// partitioned across the workers.
-Matrix columns_matmul(const std::vector<const Vector*>& cols,
-                      const Matrix& v, std::size_t r, double scale = 1.0,
+Matrix columns_matmul(std::span<const ColSpan> cols, const Matrix& v,
+                      std::size_t r, double scale = 1.0,
                       ThreadPool* pool = nullptr);
 
 }  // namespace essex::la

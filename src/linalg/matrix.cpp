@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd.hpp"
 
 namespace essex::la {
 
@@ -104,14 +105,12 @@ Matrix& Matrix::operator-=(const Matrix& rhs) {
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  simd::kernels().scale(data_.data(), s, data_.size());
   return *this;
 }
 
 double Matrix::frobenius_norm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(simd::kernels().sumsq(data_.data(), data_.size()));
 }
 
 double Matrix::max_abs() const {
@@ -153,19 +152,13 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   const double* A = a.data().data();
   const double* B = b.data().data();
   double* C = c.data().data();
+  const auto& kern = simd::kernels();
   for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
     const std::size_t i1 = std::min(i0 + kBlock, m);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
       const std::size_t p1 = std::min(p0 + kBlock, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        for (std::size_t p = p0; p < p1; ++p) {
-          const double aip = A[i * k + p];
-          if (aip == 0.0) continue;
-          const double* Brow = B + p * n;
-          double* Crow = C + i * n;
-          for (std::size_t j = 0; j < n; ++j) Crow[j] += aip * Brow[j];
-        }
-      }
+      for (std::size_t i = i0; i < i1; ++i)
+        kern.ab_row(A + i * k + p0, B + p0 * n, C + i * n, p1 - p0, n);
     }
   }
   return c;
@@ -178,18 +171,9 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   const double* A = a.data().data();
   const double* B = b.data().data();
   double* C = c.data().data();
-  // Accumulate rank-1 contributions row by row of A/B: cache friendly for
-  // tall-skinny inputs.
-  for (std::size_t r = 0; r < m; ++r) {
-    const double* Arow = A + r * p;
-    const double* Brow = B + r * n;
-    for (std::size_t i = 0; i < p; ++i) {
-      const double ari = Arow[i];
-      if (ari == 0.0) continue;
-      double* Crow = C + i * n;
-      for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
-    }
-  }
+  // Row-panel accumulation over A/B: cache friendly for tall-skinny
+  // inputs, register-tiled inside the dispatch kernel.
+  simd::kernels().atb_update(A, B, C, m, p, n);
   return c;
 }
 
@@ -197,14 +181,11 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   ESSEX_REQUIRE(a.cols() == b.cols(), "matmul_a_bt column mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
+  const auto& kern = simd::kernels();
   for (std::size_t i = 0; i < m; ++i) {
     const double* Arow = a.data().data() + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* Brow = b.data().data() + j * k;
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += Arow[p] * Brow[p];
-      c(i, j) = s;
-    }
+    for (std::size_t j = 0; j < n; ++j)
+      c(i, j) = kern.dot(Arow, b.data().data() + j * k, k);
   }
   return c;
 }
@@ -212,43 +193,40 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
 Vector matvec(const Matrix& a, const Vector& x) {
   ESSEX_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
   Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.data().data() + i * a.cols();
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
-    y[i] = s;
-  }
+  const auto& kern = simd::kernels();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    y[i] = kern.dot(a.data().data() + i * a.cols(), x.data(), a.cols());
   return y;
 }
 
 Vector matvec_t(const Matrix& a, const Vector& x) {
   ESSEX_REQUIRE(a.rows() == x.size(), "matvec_t shape mismatch");
   Vector y(a.cols(), 0.0);
+  const auto& kern = simd::kernels();
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* row = a.data().data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+    kern.axpy(xi, a.data().data() + i * a.cols(), y.data(), a.cols());
   }
   return y;
 }
 
 double dot(const Vector& a, const Vector& b) {
   ESSEX_REQUIRE(a.size() == b.size(), "dot length mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::kernels().dot(a.data(), b.data(), a.size());
 }
 
-double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+double norm2(const Vector& a) {
+  return std::sqrt(simd::kernels().sumsq(a.data(), a.size()));
+}
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   ESSEX_REQUIRE(x.size() == y.size(), "axpy length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(Vector& v, double s) {
-  for (auto& x : v) x *= s;
+  simd::kernels().scale(v.data(), s, v.size());
 }
 
 Vector add(const Vector& a, const Vector& b) {

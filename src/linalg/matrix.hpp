@@ -11,9 +11,15 @@
 #include <initializer_list>
 #include <vector>
 
+#include "common/aligned.hpp"
+
 namespace essex::la {
 
 using Vector = std::vector<double>;
+
+/// Matrix backing store: 64-byte-aligned so the runtime-dispatched SIMD
+/// kernels (simd.hpp) start every row-major payload on a cache line.
+using AlignedBuffer = std::vector<double, AlignedAllocator<double, 64>>;
 
 /// Row-major dense matrix of doubles.
 class Matrix {
@@ -42,9 +48,9 @@ class Matrix {
   double& operator()(std::size_t i, std::size_t j);
   double operator()(std::size_t i, std::size_t j) const;
 
-  /// Raw row-major storage (size rows*cols).
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  /// Raw row-major storage (size rows*cols, 64-byte-aligned base).
+  const AlignedBuffer& data() const { return data_; }
+  AlignedBuffer& data() { return data_; }
 
   Vector col(std::size_t j) const;
   Vector row(std::size_t i) const;
@@ -73,7 +79,7 @@ class Matrix {
 
  private:
   std::size_t rows_ = 0, cols_ = 0;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 // ---- BLAS-like kernels -----------------------------------------------

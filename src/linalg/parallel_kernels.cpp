@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "linalg/eig_sym.hpp"
+#include "linalg/simd.hpp"
 
 namespace essex::la {
 
@@ -57,17 +58,11 @@ Matrix matmul_at_b_parallel(const Matrix& a, const Matrix& b,
         Matrix& c = partials[blk];
         const double* A = a.data().data();
         const double* B = b.data().data();
-        double* C = c.data().data();
-        for (std::size_t row = lo; row < hi; ++row) {
-          const double* Arow = A + row * p;
-          const double* Brow = B + row * n;
-          for (std::size_t i = 0; i < p; ++i) {
-            const double ari = Arow[i];
-            if (ari == 0.0) continue;
-            double* Crow = C + i * n;
-            for (std::size_t j = 0; j < n; ++j) Crow[j] += ari * Brow[j];
-          }
-        }
+        // The dispatch kernel vectorizes WITHIN this leaf only; the leaf
+        // boundaries and the pairwise tree below stay the determinism
+        // contract's fixed reduction shape.
+        simd::kernels().atb_update(A + lo * p, B + lo * n, c.data().data(),
+                                   hi - lo, p, n);
       }));
     }
     for (auto& f : futs) f.get();
@@ -98,15 +93,9 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
       const double* A = a.data().data();
       const double* B = b.data().data();
       double* C = c.data().data();
-      for (std::size_t i = lo; i < hi; ++i) {
-        for (std::size_t q = 0; q < k; ++q) {
-          const double aiq = A[i * k + q];
-          if (aiq == 0.0) continue;
-          const double* Brow = B + q * n;
-          double* Crow = C + i * n;
-          for (std::size_t j = 0; j < n; ++j) Crow[j] += aiq * Brow[j];
-        }
-      }
+      const auto& kern = simd::kernels();
+      for (std::size_t i = lo; i < hi; ++i)
+        kern.ab_row(A + i * k, B, C + i * n, k, n);
     }));
   }
   for (auto& f : futs) f.get();

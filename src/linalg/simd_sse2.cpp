@@ -1,0 +1,141 @@
+// SSE2 tier (simd.hpp): 2-wide vectorization of the elementwise
+// kernels only. SSE2 has no fused multiply-add, and the canonical
+// reduction shape is defined in terms of single-rounded fma lanes, so
+// every reduction entry delegates to the scalar reference — bitwise
+// identity is preserved by construction, and pre-FMA machines still get
+// the bulk of the bandwidth win (rotations, rank-1 row updates, U=A·V).
+//
+// Compiled with -msse2 -ffp-contract=off on x86; elsewhere the table
+// collapses to the scalar reference.
+#include <cstddef>
+
+#include "linalg/simd_impl.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace essex::la::simd::detail {
+
+#if defined(__SSE2__)
+
+namespace {
+
+void sse2_axpy(double a, const double* x, double* y, std::size_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  const std::size_t nv = n - n % 2;
+  for (std::size_t i = 0; i < nv; i += 2) {
+    const __m128d yi = _mm_loadu_pd(y + i);
+    const __m128d xi = _mm_loadu_pd(x + i);
+    _mm_storeu_pd(y + i, _mm_add_pd(yi, _mm_mul_pd(av, xi)));
+  }
+  for (std::size_t i = nv; i < n; ++i) y[i] += a * x[i];
+}
+
+void sse2_scale(double* x, double s, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  const std::size_t nv = n - n % 2;
+  for (std::size_t i = 0; i < nv; i += 2)
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), sv));
+  for (std::size_t i = nv; i < n; ++i) x[i] *= s;
+}
+
+void sse2_rotate(double c, double s, double* x, double* y, std::size_t n) {
+  const __m128d cv = _mm_set1_pd(c), sv = _mm_set1_pd(s);
+  const std::size_t nv = n - n % 2;
+  for (std::size_t i = 0; i < nv; i += 2) {
+    const __m128d xi = _mm_loadu_pd(x + i);
+    const __m128d yi = _mm_loadu_pd(y + i);
+    _mm_storeu_pd(x + i, _mm_sub_pd(_mm_mul_pd(cv, xi), _mm_mul_pd(sv, yi)));
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_mul_pd(sv, xi), _mm_mul_pd(cv, yi)));
+  }
+  for (std::size_t i = nv; i < n; ++i) {
+    const double xi = x[i], yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+// 8-row panel / register-tiled AᵀB update, the same blocking as the
+// AVX2 tier but with 2-wide lanes. Per output element the row order is
+// ascending and each contribution is multiply+add with the zero-row
+// skip — bitwise identical to scalar_atb_update.
+void sse2_atb_update(const double* a, const double* b, double* c,
+                     std::size_t rows, std::size_t p, std::size_t n) {
+  constexpr std::size_t kRowPanel = 8;
+  const std::size_t n8 = n - n % 8;
+  for (std::size_t lo = 0; lo < rows; lo += kRowPanel) {
+    const std::size_t panel = (lo + kRowPanel <= rows) ? kRowPanel : rows - lo;
+    for (std::size_t i = 0; i < p; ++i) {
+      double ai[kRowPanel];
+      for (std::size_t r = 0; r < panel; ++r) ai[r] = a[(lo + r) * p + i];
+      double* crow = c + i * n;
+      std::size_t j = 0;
+      for (; j < n8; j += 8) {
+        __m128d c0 = _mm_loadu_pd(crow + j);
+        __m128d c1 = _mm_loadu_pd(crow + j + 2);
+        __m128d c2 = _mm_loadu_pd(crow + j + 4);
+        __m128d c3 = _mm_loadu_pd(crow + j + 6);
+        for (std::size_t r = 0; r < panel; ++r) {
+          if (ai[r] == 0.0) continue;
+          const __m128d av = _mm_set1_pd(ai[r]);
+          const double* brow = b + (lo + r) * n + j;
+          c0 = _mm_add_pd(c0, _mm_mul_pd(av, _mm_loadu_pd(brow)));
+          c1 = _mm_add_pd(c1, _mm_mul_pd(av, _mm_loadu_pd(brow + 2)));
+          c2 = _mm_add_pd(c2, _mm_mul_pd(av, _mm_loadu_pd(brow + 4)));
+          c3 = _mm_add_pd(c3, _mm_mul_pd(av, _mm_loadu_pd(brow + 6)));
+        }
+        _mm_storeu_pd(crow + j, c0);
+        _mm_storeu_pd(crow + j + 2, c1);
+        _mm_storeu_pd(crow + j + 4, c2);
+        _mm_storeu_pd(crow + j + 6, c3);
+      }
+      for (; j < n; ++j) {
+        double acc = crow[j];
+        for (std::size_t r = 0; r < panel; ++r) {
+          if (ai[r] == 0.0) continue;
+          acc += ai[r] * b[(lo + r) * n + j];
+        }
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void sse2_ab_row(const double* arow, const double* b, double* crow,
+                 std::size_t k, std::size_t n) {
+  for (std::size_t q = 0; q < k; ++q) {
+    const double aq = arow[q];
+    if (aq == 0.0) continue;
+    sse2_axpy(aq, b + q * n, crow, n);
+  }
+}
+
+void sse2_col_axpy_scaled(const double* col, std::size_t m, double scale,
+                          const double* vrow, std::size_t r, double* out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double a = col[i] * scale;
+    sse2_axpy(a, vrow, out + i * r, r);
+  }
+}
+
+}  // namespace
+
+const KernelTable& sse2_table() {
+  static const KernelTable table = {
+      // Reductions: canonical scalar reference (no SSE2 fma — see top).
+      scalar_dot, scalar_sumsq, scalar_dot_block, scalar_pair_dots,
+      // Elementwise: 2-wide.
+      sse2_axpy, sse2_scale, sse2_rotate, sse2_atb_update, sse2_ab_row,
+      sse2_col_axpy_scaled,
+  };
+  return table;
+}
+
+#else  // !__SSE2__
+
+const KernelTable& sse2_table() { return scalar_table(); }
+
+#endif
+
+}  // namespace essex::la::simd::detail

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "linalg/eig_sym.hpp"
+#include "linalg/simd.hpp"
 
 namespace essex::la {
 
@@ -43,6 +44,7 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
   for (std::size_t j = 0; j < n; ++j) v[j * n + j] = 1.0;
 
   const double eps = 1e-15;
+  const auto& kern = simd::kernels();
   bool converged = (n <= 1);
   for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
     converged = true;
@@ -50,13 +52,8 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
       for (std::size_t q = p + 1; q < n; ++q) {
         double* ap = a.data() + p * m;
         double* aq = a.data() + q * m;
-        double alpha = 0, beta = 0, gamma = 0;
-        for (std::size_t i = 0; i < m; ++i) {
-          const double aip = ap[i], aiq = aq[i];
-          alpha += aip * aip;
-          beta += aiq * aiq;
-          gamma += aip * aiq;
-        }
+        double alpha, beta, gamma;
+        kern.pair_dots(ap, aq, m, &alpha, &beta, &gamma);
         if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
         converged = false;
         const double zeta = (beta - alpha) / (2.0 * gamma);
@@ -64,18 +61,8 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
                          (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
-        for (std::size_t i = 0; i < m; ++i) {
-          const double aip = ap[i], aiq = aq[i];
-          ap[i] = c * aip - s * aiq;
-          aq[i] = s * aip + c * aiq;
-        }
-        double* vp = v.data() + p * n;
-        double* vq = v.data() + q * n;
-        for (std::size_t i = 0; i < n; ++i) {
-          const double vip = vp[i], viq = vq[i];
-          vp[i] = c * vip - s * viq;
-          vq[i] = s * vip + c * viq;
-        }
+        kern.rotate(c, s, ap, aq, m);
+        kern.rotate(c, s, v.data() + p * n, v.data() + q * n, n);
       }
     }
   }
@@ -85,12 +72,8 @@ ThinSvd jacobi_svd_tall(const Matrix& a_in, int max_sweeps = 60) {
 
   // Column norms of the rotated A are the singular values.
   Vector sv(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const double* aj = a.data() + j * m;
-    double acc = 0;
-    for (std::size_t i = 0; i < m; ++i) acc += aj[i] * aj[i];
-    sv[j] = std::sqrt(acc);
-  }
+  for (std::size_t j = 0; j < n; ++j)
+    sv[j] = std::sqrt(kern.sumsq(a.data() + j * m, m));
 
   // Sort descending; stable so repeated singular values keep a
   // deterministic order for identical inputs.

@@ -16,9 +16,11 @@
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "esse/differ.hpp"
 #include "linalg/matrix.hpp"
 #include "workflow/covariance_store.hpp"
@@ -202,6 +204,7 @@ TEST(DifferConcurrency, ConcurrentWritersVsSnapshotReaders) {
         // view holds a complete arrival prefix (indices 0..n-1).
         if (v.version < last_version) ++violations;
         last_version = v.version;
+        if (!v.storage) ++violations;
         std::size_t latest = 0, earliest = 0;
         for (std::size_t j = 0; j < v.count(); ++j) {
           const esse::AnomalyColumn& c = v.columns[j];
@@ -209,18 +212,34 @@ TEST(DifferConcurrency, ConcurrentWritersVsSnapshotReaders) {
           if (c.arrival_index >= v.count()) ++violations;
           if (j > 0 && v.columns[j - 1].member_id >= c.member_id)
             ++violations;
+          // Arena-backed columns start on a cache line even while other
+          // writers are allocating fresh spans mid-gram_append.
+          if (c.anomaly.size() != kDim) ++violations;
+          if (!essex::is_aligned(c.anomaly.data(), 64)) ++violations;
           if (c.arrival_index > v.columns[latest].arrival_index) latest = j;
           if (c.arrival_index < v.columns[earliest].arrival_index)
             earliest = j;
         }
-        // Spot-check a cached border entry against a recomputed dot
-        // (identical summation order ⇒ exact match): the latest
-        // arrival's row at the earliest arrival's position.
+        // A prefix snapshot cut mid-growth shares the exact column
+        // handles of its parent view: same spans (pointer identity, not
+        // value equality), same cached borders, same keepalive.
+        const esse::AnomalyView pre = v.prefix(v.count() / 2 + 1);
+        if (pre.storage != v.storage) ++violations;
+        for (std::size_t j = 0; j < pre.count(); ++j) {
+          if (pre.columns[j].anomaly.data() != v.columns[j].anomaly.data())
+            ++violations;
+          if (pre.columns[j].gram_row != v.columns[j].gram_row) ++violations;
+        }
+        // Spot-check a cached border entry against a recomputed dot —
+        // the canonical reduction shape is tier- and order-invariant,
+        // so the match is EXACT: the latest arrival's row at the
+        // earliest arrival's position.
         const la::Vector& row = *v.columns[latest].gram_row;
-        const la::Vector& aj = *v.columns[latest].anomaly;
-        const la::Vector& a0 = *v.columns[earliest].anomaly;
-        double acc = 0;
-        for (std::size_t i = 0; i < kDim; ++i) acc += a0[i] * aj[i];
+        const std::span<const double> aj = v.columns[latest].anomaly;
+        const std::span<const double> a0 = v.columns[earliest].anomaly;
+        const la::Vector aj_copy(aj.begin(), aj.end());
+        const la::Vector a0_copy(a0.begin(), a0.end());
+        const double acc = la::dot(a0_copy, aj_copy);
         if (row[v.columns[earliest].arrival_index] != acc) ++violations;
       }
     });

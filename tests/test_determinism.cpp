@@ -18,6 +18,7 @@
 
 #include "common/digest.hpp"
 #include "esse/repro.hpp"
+#include "linalg/simd.hpp"
 #include "workflow/determinism_probe.hpp"
 
 #ifndef ESSEX_GOLDEN_DIR
@@ -42,6 +43,23 @@ const std::string& digest_threads4() {
 TEST(Determinism, ThreadCountDoesNotChangeTheForecast) {
   EXPECT_EQ(digest_threads1(), digest_threads4());
   EXPECT_EQ(digest_threads1(), golden_digest(8));
+}
+
+TEST(Determinism, DispatchTierDoesNotChangeTheForecast) {
+  // The SIMD determinism contract (DESIGN.md §13): the golden digest is
+  // one value across the scalar, SSE2 and AVX2 kernel tiers, at every
+  // thread count — the vector kernels reproduce the canonical reduction
+  // shape bit for bit, they don't merely approximate it.
+  const std::string baseline = digest_threads1();  // computed pre-force
+  for (const la::simd::Level level :
+       {la::simd::Level::kScalar, la::simd::Level::kSse2,
+        la::simd::Level::kAvx2}) {
+    la::simd::ScopedLevel force(level);
+    SCOPED_TRACE(la::simd::level_name(la::simd::active_level()));
+    EXPECT_EQ(golden_digest(1), baseline);
+    EXPECT_EQ(golden_digest(4), baseline);
+    EXPECT_EQ(golden_digest(8), baseline);
+  }
 }
 
 TEST(Determinism, AdversarialArrivalSchedulesDoNotChangeTheForecast) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Kernel perf ratchet: fail CI when a SIMD speedup regresses.
+
+Reads the JSON written by bench_linalg_kernels (results/
+bench_linalg_kernels.json) and compares each kernel's scalar-vs-SIMD
+speedup against the floors in tests/perf_baseline.json. Speedup ratios
+are dimensionless, so the ratchet is machine-portable: a slower CI box
+slows the scalar and SIMD runs together.
+
+Gating is skipped (exit 0) when the bench ran on the scalar dispatch
+tier — there is nothing to ratchet when the hardware (or an
+ESSEX_SIMD_LEVEL override) turns the vector kernels off.
+
+Usage:
+    python3 tools/check_perf.py <bench.json> [baseline.json]
+
+Exit codes: 0 ok, 1 perf regressed, 2 bad inputs.
+"""
+
+import json
+import sys
+
+# min-of-reps timing still wobbles a little run to run (frequency
+# scaling, cache/page layout); a kernel only fails when it drops more
+# than this fraction below its baseline speedup.
+SLACK_FRAC = 0.15
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else "tests/perf_baseline.json"
+
+    with open(bench_path, encoding="utf-8") as fh:
+        bench = json.load(fh)
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    level = bench.get("simd_level", "")
+    if level == "scalar":
+        print("perf ratchet: bench ran on the scalar tier — nothing to "
+              "gate, skipping")
+        return 0
+
+    measured = {k.get("name"): k for k in bench.get("kernels", [])}
+    floors = baseline.get("kernels", {})
+    if not floors:
+        print(f"error: {baseline_path} has no 'kernels' table",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+    for name, entry in sorted(floors.items()):
+        want = float(entry["speedup"])
+        floor = want * (1.0 - SLACK_FRAC)
+        got = measured.get(name)
+        if got is None:
+            print(f"error: bench output has no kernel '{name}'",
+                  file=sys.stderr)
+            return 2
+        speedup = float(got["speedup"])
+        verdict = "ok"
+        if speedup < floor:
+            verdict = "FAIL"
+            failed.append(name)
+        elif speedup > want * (1.0 + SLACK_FRAC):
+            verdict = "ok (beats baseline — consider ratcheting up)"
+        print(f"{name:<18} speedup {speedup:6.2f}x  "
+              f"baseline {want:.2f}x (floor {floor:.2f}x)  {verdict}")
+
+    if failed:
+        print(f"FAIL: SIMD speedup regressed for: {', '.join(failed)}. "
+              f"Either restore the kernel or (with reviewer sign-off) "
+              f"lower {baseline_path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
