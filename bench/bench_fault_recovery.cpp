@@ -70,8 +70,8 @@ int main() {
     EsseWorkflowConfig cfg = base_cfg();
     cfg.sink = &outage_sink;
     mtc::SchedulerParams sp = mtc::sge_params();
-    sp.faults.node_mtbf_s = 240.0;  // one node down every ~4 min
-    sp.faults.node_outage_s = 600.0;
+    sp.faults.outage.mtbf_s = 240.0;  // one node down every ~4 min
+    sp.faults.outage.duration_s = 600.0;
     sp.faults.seed = 42;
     outage = run_cfg(cfg, sp);
     add_row("node outages (mtbf 4min)", outage);
@@ -81,7 +81,7 @@ int main() {
   for (double p : {0.05, 0.10, 0.20}) {
     EsseWorkflowConfig cfg = base_cfg();
     mtc::SchedulerParams sp = mtc::sge_params();
-    sp.faults.failure_probability = p;
+    sp.faults.segment.probability = p;
     add_row("job failures p=" + Table::num(p, 2), run_cfg(cfg, sp));
   }
 
@@ -90,8 +90,8 @@ int main() {
     EsseWorkflowConfig cfg = base_cfg();
     cfg.fault.straggler_min_samples = 32;
     mtc::SchedulerParams sp = mtc::sge_params();
-    sp.faults.failure_probability = 0.05;
-    sp.faults.node_mtbf_s = 300.0;
+    sp.faults.segment.probability = 0.05;
+    sp.faults.outage.mtbf_s = 300.0;
     sp.faults.seed = 7;
     mtc::Simulator sim;
     mtc::ClusterSpec spec = mtc::make_home_cluster(15);

@@ -1,0 +1,200 @@
+// Tracked tiled-analysis scaling bench (DESIGN.md §14): one localized
+// ESSE update at a production-sized state (m = 252,000: 120×100×5 grid,
+// 4 3-D variables + SSH) against 512 positioned observations, run at
+// 1/2/4/8 worker threads. The per-tile solves and the halo-blended
+// posterior emission are embarrassingly parallel over tiles, so the
+// thread series is the headline: the JSON written to
+// results/bench_local_analysis.json records the full series plus the
+// scale4/scale8 speedup kernels tools/check_perf.py ratchets.
+//
+// Machines with fewer cores than a series point cannot measure that
+// speedup honestly (an oversubscribed pool measures the scheduler, not
+// the engine); those kernels are listed under "skipped" in the JSON and
+// the ratchet passes over them. Timing is min-of-reps.
+//
+// Usage: bench_local_analysis [--out FILE] [--reps N] [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "esse/analysis.hpp"
+#include "esse/error_subspace.hpp"
+#include "linalg/simd.hpp"
+#include "ocean/grid.hpp"
+
+namespace {
+
+using namespace essex;
+
+/// Milliseconds of the fastest of `reps` runs of `body`.
+template <typename F>
+double min_ms(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Point {
+  std::size_t threads = 1;
+  double ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "results/bench_local_analysis.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--quick") {
+      reps = 2;
+    } else {
+      std::cerr << "usage: bench_local_analysis [--out FILE] [--reps N] "
+                   "[--quick]\n";
+      return 2;
+    }
+  }
+
+  // Production shape: m = 4·120·100·5 + 120·100 = 252,000.
+  constexpr std::size_t kNx = 120, kNy = 100, kNz = 5;
+  constexpr std::size_t kRank = 32;
+  constexpr std::size_t kObs = 512;
+  const ocean::Grid3D grid(kNx, kNy, 2.0, 2.0,
+                           {0.0, 20.0, 50.0, 100.0, 200.0});
+  const std::size_t m = 4 * grid.points() + grid.horizontal_points();
+
+  Rng rng(0x10CA1ULL);
+  la::Matrix modes(m, kRank);
+  for (auto& x : modes.data()) x = rng.normal();
+  for (std::size_t j = 0; j < kRank; ++j) {
+    la::Vector c = modes.col(j);
+    double nrm = 0;
+    for (double x : c) nrm += x * x;
+    nrm = std::sqrt(nrm);
+    for (auto& x : c) x /= nrm;
+    modes.set_col(j, c);
+  }
+  la::Vector sigmas(kRank);
+  for (std::size_t j = 0; j < kRank; ++j)
+    sigmas[j] = 2.0 / static_cast<double>(j + 1);
+  const esse::ErrorSubspace subspace(std::move(modes), std::move(sigmas));
+
+  la::Vector forecast(m);
+  for (auto& x : forecast) x = rng.normal();
+
+  // Positioned single-point observations scattered over the domain.
+  std::vector<esse::ObsEntry> entries(kObs);
+  for (std::size_t o = 0; o < kObs; ++o) {
+    esse::ObsEntry& e = entries[o];
+    const std::size_t ix = rng.uniform_index(kNx);
+    const std::size_t iy = rng.uniform_index(kNy);
+    const std::size_t iz = rng.uniform_index(kNz);
+    const std::size_t var = rng.uniform_index(2);  // T or S
+    e.stencil = {{var * grid.points() + (iz * kNy + iy) * kNx + ix, 1.0}};
+    e.value = forecast[e.stencil[0].first] + rng.normal(0.0, 0.3);
+    e.variance = 0.09;
+    e.positioned = true;
+    e.x_km = 2.0 * static_cast<double>(ix);
+    e.y_km = 2.0 * static_cast<double>(iy);
+  }
+  const esse::ObsSet obs{std::move(entries)};
+
+  esse::AnalysisOptions options;
+  options.localization.enabled = true;
+  options.localization.radius_km = 30.0;
+  options.tiling.tiles_x = 8;
+  options.tiling.tiles_y = 8;
+  options.tiling.halo_cells = 2;
+  options.grid = &grid;
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<Point> series;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    options.threads = threads;
+    Point p;
+    p.threads = threads;
+    p.ms = min_ms(reps, [&] {
+      const esse::AnalysisResult r =
+          esse::analyze(forecast, subspace, obs, options);
+      if (r.posterior_state.size() != m) std::abort();
+    });
+    series.push_back(p);
+    std::printf("threads %zu  %10.2f ms  speedup %5.2fx%s\n", threads, p.ms,
+                series.front().ms / p.ms,
+                threads > cores ? "  (oversubscribed)" : "");
+  }
+
+  // The ratcheted kernels: t1/t4 and t1/t8, honest only when the
+  // machine has that many cores.
+  struct Kernel {
+    const char* name;
+    std::size_t threads;
+  };
+  const Kernel kernels[] = {{"local_analysis_scale4", 4},
+                            {"local_analysis_scale8", 8}};
+  const auto ms_at = [&](std::size_t threads) {
+    for (const Point& p : series)
+      if (p.threads == threads) return p.ms;
+    return 0.0;
+  };
+
+  const auto dir = std::filesystem::path(out_path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  out << "{\n  \"simd_level\": \""
+      << la::simd::level_name(la::simd::active_level()) << "\",\n"
+      << "  \"cores\": " << cores << ",\n"
+      << "  \"shape\": \"dim " << m << " (120x100x5), rank " << kRank << ", "
+      << kObs << " obs, 8x8 tiles, halo 2, radius 30 km\",\n"
+      << "  \"series\": [\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << "    {\"threads\": " << series[i].threads
+        << ", \"ms\": " << series[i].ms << "}"
+        << (i + 1 < series.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"kernels\": [\n";
+  bool first = true;
+  std::vector<std::string> skipped;
+  for (const Kernel& k : kernels) {
+    if (cores < k.threads) {
+      skipped.push_back(k.name);
+      continue;
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << k.name << "\", \"scalar_ms\": " << ms_at(1)
+        << ", \"simd_ms\": " << ms_at(k.threads)
+        << ", \"speedup\": " << ms_at(1) / ms_at(k.threads) << "}";
+  }
+  out << "\n  ],\n  \"skipped\": [";
+  for (std::size_t i = 0; i < skipped.size(); ++i)
+    out << "\"" << skipped[i] << "\"" << (i + 1 < skipped.size() ? ", " : "");
+  out << "]\n}\n";
+  std::cout << "wrote " << out_path << " (cores: " << cores << ")\n";
+  return 0;
+}

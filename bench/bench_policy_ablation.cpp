@@ -41,7 +41,7 @@ int main() {
     EsseWorkflowConfig cfg = base_cfg();
     cfg.pool_headroom = 1.3;  // headroom absorbs the failures
     mtc::SchedulerParams sp = mtc::sge_params();
-    sp.faults.failure_probability = p;
+    sp.faults.segment.probability = p;
     const WorkflowMetrics m = run_cfg(cfg, sp);
     f.add_row({Table::num(p, 2), m.converged ? "yes" : "no",
                Table::num(m.makespan_s / 60.0, 1),

@@ -3,16 +3,55 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "esse/local_analysis.hpp"
 #include "linalg/chol.hpp"
 #include "linalg/eig_sym.hpp"
 #include "linalg/stats.hpp"
 
 namespace essex::esse {
 
+namespace detail {
+
+la::Matrix posterior_core(const la::Vector& sigmas, const la::Matrix& g) {
+  const std::size_t k = sigmas.size();
+  la::Matrix inner = la::Matrix::identity(k);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      inner(a, b) += sigmas[a] * g(a, b) * sigmas[b];
+  la::Matrix bmat(k, k);
+  for (std::size_t a = 0; a < k; ++a) bmat(a, a) = sigmas[a];
+  la::Matrix inner_inv_b = la::cholesky_solve(inner, bmat);  // inner⁻¹ B
+  return la::matmul(bmat, inner_inv_b);                      // B inner⁻¹ B
+}
+
+std::size_t kept_rank(const la::Vector& eigenvalues) {
+  std::size_t keep = 0;
+  while (keep < eigenvalues.size() &&
+         eigenvalues[keep] > 1e-14 * std::max(eigenvalues[0], 1e-300)) {
+    ++keep;
+  }
+  return std::max<std::size_t>(keep, 1);
+}
+
+}  // namespace detail
+
+double gaspari_cohn(double dist, double half_support) {
+  if (half_support <= 0.0) return dist == 0.0 ? 1.0 : 0.0;
+  const double r = dist / half_support;
+  if (r >= 2.0) return 0.0;
+  const double r2 = r * r, r3 = r2 * r, r4 = r3 * r, r5 = r4 * r;
+  if (r < 1.0) {
+    return -0.25 * r5 + 0.5 * r4 + 0.625 * r3 - 5.0 / 3.0 * r2 + 1.0;
+  }
+  return r5 / 12.0 - 0.5 * r4 + 0.625 * r3 + 5.0 / 3.0 * r2 - 5.0 * r +
+         4.0 - 2.0 / (3.0 * r);
+}
+
 namespace {
 
-/// The shared subspace-Kalman core: given HE = H·E (p×k), the innovation
-/// d = yᵒ − H·x_f and diagonal R, produce the posterior mean/subspace.
+/// The global subspace-Kalman update: given HE = H·E (p×k), the
+/// innovation d = yᵒ − H·x_f and diagonal R, produce the posterior
+/// mean/subspace.
 AnalysisResult analyze_core(const la::Vector& forecast,
                             const ErrorSubspace& subspace,
                             const la::Matrix& he, const la::Vector& d,
@@ -35,15 +74,7 @@ AnalysisResult analyze_core(const la::Vector& forecast,
       g(b, a) = s;
     }
   }
-  la::Matrix inner = la::Matrix::identity(k);
-  const la::Vector& sig = subspace.sigmas();
-  for (std::size_t a = 0; a < k; ++a)
-    for (std::size_t b = 0; b < k; ++b)
-      inner(a, b) += sig[a] * g(a, b) * sig[b];
-  la::Matrix bmat(k, k);
-  for (std::size_t a = 0; a < k; ++a) bmat(a, a) = sig[a];
-  la::Matrix inner_inv_b = la::cholesky_solve(inner, bmat);  // inner⁻¹ B
-  la::Matrix c = la::matmul(bmat, inner_inv_b);              // B inner⁻¹ B
+  la::Matrix c = detail::posterior_core(subspace.sigmas(), g);
 
   // w = C · HEᵀ R⁻¹ d (subspace coefficients of the increment).
   la::Vector rhs(k, 0.0);
@@ -62,12 +93,7 @@ AnalysisResult analyze_core(const la::Vector& forecast,
 
   // Posterior subspace from the symmetric eigendecomposition of C.
   la::EigSym eig = la::eig_sym(c);
-  std::size_t keep = 0;
-  while (keep < k && eig.eigenvalues[keep] >
-                         1e-14 * std::max(eig.eigenvalues[0], 1e-300)) {
-    ++keep;
-  }
-  keep = std::max<std::size_t>(keep, 1);
+  const std::size_t keep = detail::kept_rank(eig.eigenvalues);
   la::Matrix post_modes =
       la::matmul(subspace.modes(), eig.eigenvectors.first_cols(keep));
   la::Vector post_sig(keep);
@@ -82,70 +108,69 @@ AnalysisResult analyze_core(const la::Vector& forecast,
   return out;
 }
 
-}  // namespace
-
-AnalysisResult analyze(const la::Vector& forecast,
-                       const ErrorSubspace& subspace,
-                       const obs::ObsOperator& h) {
-  ESSEX_REQUIRE(!subspace.empty(), "analysis needs a non-empty subspace");
-  ESSEX_REQUIRE(h.count() > 0, "analysis needs at least one observation");
-  ESSEX_REQUIRE(forecast.size() == subspace.dim(),
-                "forecast dimension does not match the subspace");
-
+/// The historical dense path over the whole domain. The HE/innovation
+/// arithmetic accumulates in stencil order, exactly as the ObsOperator
+/// and analyze_linear front ends did, so results are bitwise unchanged
+/// through the ObsSet adapters.
+AnalysisResult analyze_global(const la::Vector& forecast,
+                              const ErrorSubspace& subspace,
+                              const ObsSet& obs) {
+  const std::size_t p = obs.size();
   const std::size_t k = subspace.rank();
-  la::Matrix he(h.count(), k);
-  for (std::size_t j = 0; j < k; ++j) {
-    he.set_col(j, h.apply_mode(subspace.modes(), j));
-  }
-  AnalysisResult out = analyze_core(forecast, subspace, he,
-                                    h.innovation(forecast),
-                                    h.noise_variances());
-  out.posterior_innovation_rms = la::rms(h.innovation(out.posterior_state));
+
+  la::Matrix he(p, k);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      he(i, j) = obs.apply_mode(i, subspace.modes(), j);
+  la::Vector d = obs.innovations(forecast);
+  la::Vector rvar(p);
+  for (std::size_t i = 0; i < p; ++i) rvar[i] = obs.entry(i).variance;
+
+  AnalysisResult out = analyze_core(forecast, subspace, he, d, rvar);
+  out.posterior_innovation_rms =
+      la::rms(obs.innovations(out.posterior_state));
   return out;
 }
 
-AnalysisResult analyze_linear(const la::Vector& forecast,
-                              const ErrorSubspace& subspace,
-                              const std::vector<LinearObservation>& obs) {
+}  // namespace
+
+AnalysisResult analyze(const la::Vector& forecast,
+                       const ErrorSubspace& subspace, const ObsSet& obs,
+                       const AnalysisOptions& options) {
   ESSEX_REQUIRE(!subspace.empty(), "analysis needs a non-empty subspace");
   ESSEX_REQUIRE(!obs.empty(), "analysis needs at least one observation");
   ESSEX_REQUIRE(forecast.size() == subspace.dim(),
                 "forecast dimension does not match the subspace");
 
-  const std::size_t p = obs.size();
-  const std::size_t k = subspace.rank();
+  if (!options.localization.enabled) return analyze_global(forecast, subspace, obs);
 
-  auto apply = [&](const la::Vector& x, std::size_t i) {
-    double s = 0.0;
-    for (const auto& [idx, w] : obs[i].stencil) {
-      ESSEX_REQUIRE(idx < x.size(), "stencil index out of range");
-      s += w * x[idx];
-    }
-    return s;
-  };
+  ESSEX_REQUIRE(options.grid != nullptr,
+                "localized analysis needs grid geometry");
+  ESSEX_REQUIRE(options.localization.radius_km > 0.0,
+                "localization radius must be positive");
+  const ocean::Tiling tiling(*options.grid, options.tiling);
+  ESSEX_REQUIRE(tiling.packed_size() == forecast.size(),
+                "grid packed size does not match the state");
+  if (options.threads > 1) {
+    ThreadPool pool(options.threads);
+    return analyze_tiled(forecast, subspace, obs, tiling,
+                         options.localization, &pool);
+  }
+  return analyze_tiled(forecast, subspace, obs, tiling, options.localization,
+                       nullptr);
+}
 
-  la::Matrix he(p, k);
-  for (std::size_t i = 0; i < p; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      double s = 0.0;
-      for (const auto& [idx, w] : obs[i].stencil) {
-        ESSEX_REQUIRE(idx < subspace.dim(), "stencil index out of range");
-        s += w * subspace.modes()(idx, j);
-      }
-      he(i, j) = s;
-    }
-  }
-  la::Vector d(p), rvar(p);
-  for (std::size_t i = 0; i < p; ++i) {
-    d[i] = obs[i].value - apply(forecast, i);
-    rvar[i] = obs[i].variance;
-  }
-  AnalysisResult out = analyze_core(forecast, subspace, he, d, rvar);
-  la::Vector d_post(p);
-  for (std::size_t i = 0; i < p; ++i)
-    d_post[i] = obs[i].value - apply(out.posterior_state, i);
-  out.posterior_innovation_rms = la::rms(d_post);
-  return out;
+AnalysisResult analyze(const la::Vector& forecast,
+                       const ErrorSubspace& subspace,
+                       const obs::ObsOperator& h) {
+  ESSEX_REQUIRE(h.count() > 0, "analysis needs at least one observation");
+  return analyze(forecast, subspace, ObsSet::from_operator(h));
+}
+
+AnalysisResult analyze_linear(const la::Vector& forecast,
+                              const ErrorSubspace& subspace,
+                              const std::vector<LinearObservation>& obs) {
+  return analyze(forecast, subspace, ObsSet::from_linear(obs));
 }
 
 }  // namespace essex::esse

@@ -6,11 +6,22 @@
 // the posterior mean x_a = x_f + E·C·(HE)ᵀR⁻¹·d and the posterior modes
 // from C's eigendecomposition. Costs O(m·k + p·k²): no full-space
 // covariance is ever formed — the whole point of ESSE.
+//
+// One entry point serves every observation front end and both execution
+// strategies: analyze(forecast, subspace, ObsSet, AnalysisOptions)
+// dispatches to the historical global dense update (localization off —
+// bitwise identical to the pre-redesign path) or to the tiled, localized
+// engine of local_analysis.cpp (DESIGN.md §14): per-tile k×k solves with
+// Gaspari–Cohn observation tapering, blended across halos with
+// partition-of-unity weights. The pre-redesign signatures survive as
+// thin forwarding wrappers over the ObsSet adapters.
 #pragma once
 
 #include "esse/error_subspace.hpp"
+#include "esse/obs_set.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/observation.hpp"
+#include "ocean/tiling.hpp"
 
 namespace essex::esse {
 
@@ -24,31 +35,65 @@ struct AnalysisResult {
   double posterior_trace = 0;  ///< tr(P_a) — must not exceed prior_trace
 };
 
-/// Perform the ESSE subspace Kalman update.
-///
-/// `forecast` is the central forecast x_f (dimension = subspace.dim()),
-/// `subspace` carries the forecast error modes and sigmas, and `h` holds
-/// the observations (values + diagonal noise covariance R).
-/// Requires a non-empty subspace and at least one observation.
+/// Distance-based observation localization. When enabled, an observation
+/// influences a tile's solve with its noise variance inflated by
+/// 1/GC(d) — the Gaspari–Cohn taper of the distance d from the
+/// observation to the tile's owned rectangle — and drops out entirely
+/// past the support 2·radius_km. Unpositioned observations (generic
+/// linear stencils) reach every tile untapered.
+struct LocalizationParams {
+  bool enabled = false;
+  double radius_km = 0.0;  ///< GC half-support c; influence dies at 2c
+};
+
+/// How one analyze() call executes. The default — localization off —
+/// runs the global dense update exactly as before the redesign; enabling
+/// localization selects the tiled engine, which needs the grid geometry
+/// for tiling and distances.
+struct AnalysisOptions {
+  LocalizationParams localization;
+  ocean::TilingParams tiling;  ///< tile decomposition of the tiled engine
+  std::size_t threads = 1;     ///< worker threads for the per-tile solves
+  const ocean::Grid3D* grid = nullptr;  ///< required when localized
+};
+
+/// The Gaspari–Cohn 5th-order piecewise-rational correlation function:
+/// 1 at distance 0, compactly supported on [0, 2·half_support). The
+/// first-class localization taper.
+double gaspari_cohn(double dist, double half_support);
+
+/// Perform the ESSE subspace Kalman update. Requires a non-empty
+/// subspace, at least one observation, and forecast.size() ==
+/// subspace.dim(); when options.localization.enabled, also a grid whose
+/// packed size matches the state.
+AnalysisResult analyze(const la::Vector& forecast,
+                       const ErrorSubspace& subspace, const ObsSet& obs,
+                       const AnalysisOptions& options = {});
+
+/// Thin forwarding wrapper (pre-redesign signature): global update
+/// against a gridded measurement operator.
 AnalysisResult analyze(const la::Vector& forecast,
                        const ErrorSubspace& subspace,
                        const obs::ObsOperator& h);
 
-/// A generic linear scalar observation on an arbitrary state vector:
-/// y = Σ weight·x[index] + ε with ε ~ N(0, variance). Lets callers (e.g.
-/// the coupled physical–acoustical assimilation of §2.2) reuse the ESSE
-/// update on joint states that are not ocean grids.
-struct LinearObservation {
-  std::vector<std::pair<std::size_t, double>> stencil;
-  double value = 0;
-  double variance = 1.0;
-};
-
-/// ESSE update against generic linear observations. Same contract as
-/// analyze(); stencil indices must lie inside the state dimension and
-/// variances must be positive.
+/// Thin forwarding wrapper (pre-redesign signature): global update
+/// against generic linear observations. Stencil indices must lie inside
+/// the state dimension and variances must be positive.
 AnalysisResult analyze_linear(const la::Vector& forecast,
                               const ErrorSubspace& subspace,
                               const std::vector<LinearObservation>& obs);
+
+namespace detail {
+
+/// The shared k×k posterior core: C = B (I + Bᵀ G B)⁻¹ B with
+/// B = diag(sigmas) and G = HEᵀ R⁻¹ HE, used by both the global update
+/// and every tile's local solve.
+la::Matrix posterior_core(const la::Vector& sigmas, const la::Matrix& g);
+
+/// Shared truncation rule for posterior spectra: modes kept while the
+/// eigenvalue clears 1e-14 of the leading one, never fewer than one.
+std::size_t kept_rank(const la::Vector& eigenvalues);
+
+}  // namespace detail
 
 }  // namespace essex::esse

@@ -47,7 +47,14 @@ ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
                                   params.perturbation.seed, 0);
 
   PerturbationGenerator pert(initial_subspace, params.perturbation);
-  Differ differ(central);
+  // Localized cycles shard the differ's column store by the analysis
+  // tiling, so the forecast-stage Gram reductions use the same fixed
+  // per-tile shapes the tiled analysis does.
+  std::shared_ptr<const ocean::Tiling> tiling;
+  if (params.localization.enabled)
+    tiling = std::make_shared<const ocean::Tiling>(model.grid(),
+                                                   params.tiling);
+  Differ differ(central, tiling);
   differ.set_sink(params.sink);  // differ.* cache counters + check latency
   ConvergenceTest conv(params.convergence);
   EnsembleSizeController sizer(params.ensemble);
@@ -139,8 +146,14 @@ CycleResult run_assimilation_cycle(const ocean::OceanModel& model,
   ESSEX_REQUIRE(out.forecast.members_run >= params.min_analysis_members,
                 "analysis refused: fewer surviving members than the "
                 "min_analysis_members floor");
+  AnalysisOptions options;
+  options.localization = params.localization;
+  options.tiling = params.tiling;
+  options.threads = params.threads;
+  options.grid = &model.grid();
   out.analysis = analyze(out.forecast.central_forecast,
-                         out.forecast.forecast_subspace, h);
+                         out.forecast.forecast_subspace,
+                         ObsSet::from_operator(h), options);
   return out;
 }
 

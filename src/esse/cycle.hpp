@@ -37,6 +37,12 @@ struct CycleParams {
   std::size_t check_interval = 8;  ///< members between SVD/convergence tests
   std::size_t threads = 1;        ///< worker threads for member runs
   bool stochastic_members = true;  ///< members feel model noise (dη)
+  /// Localized analysis (DESIGN.md §14). Off by default: the global
+  /// dense update, bitwise identical to the pre-localization cycle.
+  /// When enabled, the analysis runs tiled per `tiling` and the differ's
+  /// column store is sharded by the same tiling.
+  LocalizationParams localization;
+  ocean::TilingParams tiling;
   /// Graceful-degradation floor N′: the analysis stage accepts a forecast
   /// built from fewer members than planned (survivors of a faulty run),
   /// but refuses to assimilate below this many members.

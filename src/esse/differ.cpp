@@ -121,8 +121,13 @@ ErrorSubspace subspace_from_view(const AnomalyView& view,
   return out;
 }
 
-Differ::Differ(la::Vector central) : central_(std::move(central)) {
+Differ::Differ(la::Vector central,
+               std::shared_ptr<const ocean::Tiling> tiling)
+    : central_(std::move(central)), tiling_(std::move(tiling)) {
   ESSEX_REQUIRE(!central_.empty(), "central forecast must be non-empty");
+  ESSEX_REQUIRE(tiling_ == nullptr ||
+                    tiling_->packed_size() == central_.size(),
+                "tiling does not match the central forecast");
   // Slabs big enough for several columns each, so a growing ensemble
   // allocates O(n / slab_cols) times, not O(n).
   arena_ = std::make_shared<la::ColumnArena>(
@@ -159,7 +164,9 @@ void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
       epoch = rewrite_epoch_;
       have_epoch = true;
       if (columns_.size() == border.size()) {
-        border.push_back(la::simd::kernels().sumsq(anom.data(), anom.size()));
+        border.push_back(
+            tiling_ ? la::sumsq_sharded(anom, tiling_->shards())
+                    : la::simd::kernels().sumsq(anom.data(), anom.size()));
         AnomalyColumn col;
         col.anomaly = anom;
         col.gram_row = std::make_shared<const la::Vector>(std::move(border));
@@ -178,7 +185,11 @@ void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
     }
     const std::size_t old = border.size();
     border.resize(old + prev.size());
-    la::gram_append(prev, anom, border.data() + old);
+    if (tiling_)
+      la::gram_append_sharded(prev, anom, tiling_->shards(),
+                              border.data() + old);
+    else
+      la::gram_append(prev, anom, border.data() + old);
     computed += prev.size();
   }
   if (sink_)
@@ -215,11 +226,21 @@ void Differ::rewrite_member(std::size_t member_id,
   row_store.reserve(n);
   for (std::size_t j = 0; j < n; ++j) row_store.emplace_back(j + 1);
   const std::span<const la::ColSpan> cols(all);
-  for (std::size_t j0 = 0; j0 < n; j0 += la::simd::kDotBlockCols) {
-    const std::size_t width = std::min(n - j0, la::simd::kDotBlockCols);
-    std::vector<double*> rows(width);
-    for (std::size_t w = 0; w < width; ++w) rows[w] = row_store[j0 + w].data();
-    la::gram_border_rows(cols.first(j0), cols.subspan(j0, width), rows);
+  if (tiling_) {
+    // Sharded store: rebuild each border entry through the same
+    // tile-major reduction the append path uses, so a rebuilt cache is
+    // bitwise identical to one grown column by column.
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i <= j; ++i)
+        row_store[j][i] = la::dot_sharded(all[i], all[j], tiling_->shards());
+  } else {
+    for (std::size_t j0 = 0; j0 < n; j0 += la::simd::kDotBlockCols) {
+      const std::size_t width = std::min(n - j0, la::simd::kDotBlockCols);
+      std::vector<double*> rows(width);
+      for (std::size_t w = 0; w < width; ++w)
+        rows[w] = row_store[j0 + w].data();
+      la::gram_border_rows(cols.first(j0), cols.subspan(j0, width), rows);
+    }
   }
   for (std::size_t j = 0; j < n; ++j) {
     columns_[j].gram_row =

@@ -36,6 +36,7 @@
 #include "linalg/arena.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
+#include "ocean/tiling.hpp"
 
 namespace essex::telemetry {
 class Sink;
@@ -122,8 +123,15 @@ ErrorSubspace subspace_from_view(const AnomalyView& view,
 class Differ {
  public:
   /// `central` is the central (unperturbed) forecast the anomalies are
-  /// taken about.
-  explicit Differ(la::Vector central);
+  /// taken about. With a `tiling` (whose packed size must match the
+  /// central forecast) the column store is sharded by tile: every Gram
+  /// border and self-product is the tile-major sharded reduction
+  /// (la::dot_sharded) over the tiling's owned runs — a fixed shape set
+  /// by the tiling alone, so digests stay thread-count- and
+  /// arrival-order-invariant, and stay stable when the shards later
+  /// move to per-node stores.
+  explicit Differ(la::Vector central,
+                  std::shared_ptr<const ocean::Tiling> tiling = nullptr);
 
   /// Attach a telemetry sink (nullable, not owned): gram-border and
   /// subspace-check counters land in it. Set before worker threads
@@ -188,8 +196,15 @@ class Differ {
 
   const la::Vector& central() const { return central_; }
 
+  /// The tile decomposition the column store is sharded by (null when
+  /// untiled).
+  const std::shared_ptr<const ocean::Tiling>& tiling() const {
+    return tiling_;
+  }
+
  private:
   la::Vector central_;
+  std::shared_ptr<const ocean::Tiling> tiling_;  // null = unsharded
   mutable std::mutex mu_;
   // Column payloads; never freed while any view's keepalive survives, so
   // a rewrite can abandon an old span under concurrent readers.

@@ -117,6 +117,60 @@ void gram_border_rows(std::span<const ColSpan> cached,
   }
 }
 
+double dot_sharded(ColSpan a, ColSpan b, std::span<const RunList> shards) {
+  ESSEX_REQUIRE(a.size() == b.size(), "dot_sharded column length mismatch");
+  const auto& kern = simd::kernels();
+  double total = 0.0;
+  for (const RunList& runs : shards) {
+    double partial = 0.0;
+    for (const IndexRange& r : runs) {
+      ESSEX_REQUIRE(r.begin + r.len <= a.size(),
+                    "dot_sharded run out of range");
+      partial += kern.dot(a.data() + r.begin, b.data() + r.begin, r.len);
+    }
+    total += partial;
+  }
+  return total;
+}
+
+double sumsq_sharded(ColSpan a, std::span<const RunList> shards) {
+  const auto& kern = simd::kernels();
+  double total = 0.0;
+  for (const RunList& runs : shards) {
+    double partial = 0.0;
+    for (const IndexRange& r : runs) {
+      ESSEX_REQUIRE(r.begin + r.len <= a.size(),
+                    "sumsq_sharded run out of range");
+      partial += kern.sumsq(a.data() + r.begin, r.len);
+    }
+    total += partial;
+  }
+  return total;
+}
+
+void gram_append_sharded(std::span<const ColSpan> cols, ColSpan new_col,
+                         std::span<const RunList> shards, double* out,
+                         ThreadPool* pool) {
+  const std::size_t k = cols.size();
+  if (k == 0) return;
+  auto run_cols = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = dot_sharded(cols[i], new_col, shards);
+  };
+  const std::size_t threads = pool ? pool->thread_count() : 1;
+  if (pool == nullptr || threads <= 1 || k < 2 * threads) {
+    run_cols(0, k);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  const std::size_t per = (k + threads - 1) / threads;
+  for (std::size_t lo = 0; lo < k; lo += per) {
+    const std::size_t hi = std::min(k, lo + per);
+    futs.push_back(pool->submit([&, lo, hi] { run_cols(lo, hi); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
 Matrix gram_from_columns(std::span<const ColSpan> cols, double scale,
                          ThreadPool* pool) {
   const std::size_t n = cols.size();

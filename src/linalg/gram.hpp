@@ -28,6 +28,38 @@ namespace essex::la {
 /// Read-only handle to one stored column.
 using ColSpan = std::span<const double>;
 
+/// One contiguous run [begin, begin + len) of rows inside a packed
+/// column. A tile's owned rows are a list of such runs (one per
+/// variable × z-level × row of cells — see ocean/tiling.hpp).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t len = 0;
+};
+
+/// One shard's row set: the contiguous runs a single tile owns.
+using RunList = std::vector<IndexRange>;
+
+/// Sharded dot product: each shard's partial is the canonical reduction
+/// over its runs (run-major, each run through the canonical dot shape),
+/// and the partials are summed in shard order. The reduction shape is
+/// therefore fixed by the tiling alone — independent of thread count and
+/// of where the shards are eventually computed — which is what lets the
+/// determinism contract (DESIGN.md §10) survive a future distributed
+/// column store. The shards must cover each row at most once.
+double dot_sharded(ColSpan a, ColSpan b, std::span<const RunList> shards);
+
+/// Sharded self-product: dot_sharded(a, a, shards) with the sumsq
+/// kernel per run.
+double sumsq_sharded(ColSpan a, std::span<const RunList> shards);
+
+/// Sharded Gram border: out[i] = dot_sharded(cols[i], new_col, shards)
+/// for every stored column; with `pool` the stored columns are spread
+/// across the workers (each entry's reduction shape is unchanged).
+/// `out` must hold cols.size() doubles.
+void gram_append_sharded(std::span<const ColSpan> cols, ColSpan new_col,
+                         std::span<const RunList> shards, double* out,
+                         ThreadPool* pool = nullptr);
+
 /// The new Gram border: out[i] = cols[i]·new_col for every stored
 /// column. Blocked over small groups of columns so `new_col` streams
 /// through cache once per group instead of once per column; with `pool`

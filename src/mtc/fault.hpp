@@ -94,21 +94,31 @@ struct FaultPolicy {
   std::uint64_t seed = 0x5EEDFA01ULL;
 };
 
-/// Failure *injection* knobs (what the DES does to jobs) — the
-/// consolidated home of ClusterScheduler's former loose
-/// failure_probability / failure_fraction fields.
+/// Failure *injection* knobs (what the DES does to jobs), as a
+/// structured policy: the two failure processes the backends model are
+/// named sub-structs instead of loose doubles, so a call site reads
+/// `inject.segment.probability` and cannot transpose unrelated knobs.
 struct FaultInjection {
-  /// Probability a compute segment dies mid-run (§4 point 3). Drawn from
-  /// a per-job splittable RNG stream keyed by the job id, so enabling
-  /// injection never perturbs any other stochastic draw in the run.
-  double failure_probability = 0.0;
-  /// Fraction of the segment's runtime at which the failure strikes.
-  double failure_fraction = 0.5;
-  /// Node outages: fleet-wide mean time between outages (0 = off). Each
-  /// outage takes one schedulable node down for `node_outage_s`; running
-  /// jobs on it are evicted (glide-in lease loss, EC2 instance loss).
-  double node_mtbf_s = 0.0;
-  double node_outage_s = 600.0;
+  /// Mid-run compute-segment deaths (§4 point 3): crashes, OOM kills,
+  /// wedged NFS writes.
+  struct SegmentFailures {
+    /// Probability one attempt dies mid-run. Drawn from a per-job
+    /// splittable RNG stream keyed by the job id, so enabling injection
+    /// never perturbs any other stochastic draw in the run.
+    double probability = 0.0;
+    /// Fraction of the segment's runtime at which the failure strikes.
+    double fraction = 0.5;
+  };
+  /// Whole-node outages: glide-in lease loss, EC2 instance loss. Each
+  /// outage takes one schedulable node down for `duration_s`; running
+  /// jobs on it are evicted.
+  struct NodeOutages {
+    /// Fleet-wide mean time between outages (0 = off).
+    double mtbf_s = 0.0;
+    double duration_s = 600.0;
+  };
+  SegmentFailures segment;
+  NodeOutages outage;
   std::uint64_t seed = 1234;
 };
 

@@ -38,9 +38,9 @@ void JobContext::compute(double cpu_seconds_at_unit_speed,
   const double wall = cpu_seconds_at_unit_speed / cpu_speed();
   auto self = shared_from_this();
   // Failure injection: the job may die part-way through this segment.
-  if (sched_.params_.faults.failure_probability > 0.0 &&
-      rng_.uniform() < sched_.params_.faults.failure_probability) {
-    const double frac = sched_.params_.faults.failure_fraction;
+  if (sched_.params_.faults.segment.probability > 0.0 &&
+      rng_.uniform() < sched_.params_.faults.segment.probability) {
+    const double frac = sched_.params_.faults.segment.fraction;
     sched_.sim_.after(wall * frac, [self, wall, frac] {
       if (!self->alive_) return;
       self->sched_.records_[self->id_].cpu_seconds += wall * frac;
@@ -366,10 +366,10 @@ void ClusterScheduler::job_done(JobId id, JobStatus status) {
 // ---- Node outages -------------------------------------------------------
 
 void ClusterScheduler::maybe_schedule_outage() {
-  if (params_.faults.node_mtbf_s <= 0.0 || outage_scheduled_) return;
+  if (params_.faults.outage.mtbf_s <= 0.0 || outage_scheduled_) return;
   outage_scheduled_ = true;
   const double gap =
-      outage_rng_.exponential(1.0 / params_.faults.node_mtbf_s);
+      outage_rng_.exponential(1.0 / params_.faults.outage.mtbf_s);
   sim_.after(gap, [this] { outage_event(); });
 }
 
@@ -405,7 +405,7 @@ void ClusterScheduler::take_node_down(std::size_t node_index) {
     if (ctx) ctx->alive_ = false;
     job_done(id, JobStatus::kEvicted);
   }
-  sim_.after(params_.faults.node_outage_s, [this, node_index] {
+  sim_.after(params_.faults.outage.duration_s, [this, node_index] {
     node_down_[node_index] = false;
     if (telem_) telem_->count("sched.node_recoveries");
     if (params_.negotiation_interval_s <= 0) try_dispatch();

@@ -188,8 +188,8 @@ class ClusterScheduler {
   void job_done(JobId id, JobStatus status);
   void advance_occupancy();
   void note_queue_depth();
-  /// Node-outage process (faults.node_mtbf_s > 0): a fleet-level Poisson
-  /// clock takes random nodes down for faults.node_outage_s, evicting
+  /// Node-outage process (faults.outage.mtbf_s > 0): a fleet-level Poisson
+  /// clock takes random nodes down for faults.outage.duration_s, evicting
   /// their running jobs. Pauses while the scheduler is idle so the
   /// simulator's event queue can drain.
   void maybe_schedule_outage();

@@ -142,6 +142,17 @@ la::Vector ObsOperator::values() const {
   return v;
 }
 
+std::vector<std::pair<std::size_t, double>> ObsOperator::stencil_entries(
+    std::size_t i) const {
+  ESSEX_REQUIRE(i < stencils_.size(), "stencil_entries: bad observation");
+  const Stencil& st = stencils_[i];
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(st.n);
+  for (std::size_t j = 0; j < st.n; ++j)
+    out.emplace_back(st.index[j], st.weight[j]);
+  return out;
+}
+
 la::Vector ObsOperator::noise_variances() const {
   la::Vector v(obs_.size());
   for (std::size_t k = 0; k < obs_.size(); ++k)

@@ -63,6 +63,12 @@ class ObsOperator {
   /// Diagonal of the observation error covariance R.
   la::Vector noise_variances() const;
 
+  /// Stencil of observation `i` as (packed index, weight) pairs, in the
+  /// evaluation order apply()/apply_mode() use. Lets state-space callers
+  /// (esse::ObsSet) reuse the interpolation without re-deriving it.
+  std::vector<std::pair<std::size_t, double>> stencil_entries(
+      std::size_t i) const;
+
  private:
   struct Stencil {
     // Up to 8 (point, weight) pairs into the packed state vector.

@@ -1,0 +1,121 @@
+#include "ocean/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace essex::ocean {
+
+namespace {
+
+// Unnormalized per-axis blending weight of a tile at coordinate i, given
+// the tile's owned half-open range [lo, hi) and the halo radius. Owned
+// cells get the full weight halo+1; halo cells roll off linearly to 1 at
+// the outermost halo cell. Only meaningful when the (clamped) halo rect
+// contains i, which bounds the distance below by halo.
+double axis_weight(std::size_t i, std::size_t lo, std::size_t hi,
+                   std::size_t halo) {
+  const double full = static_cast<double>(halo + 1);
+  if (i < lo) return full - static_cast<double>(lo - i);
+  if (i >= hi) return full - static_cast<double>(i - hi + 1);
+  return full;
+}
+
+}  // namespace
+
+Tiling::Tiling(const Grid3D& grid, const TilingParams& params)
+    : nx_(grid.nx()),
+      ny_(grid.ny()),
+      nz_(grid.nz()),
+      points_(grid.points()),
+      dx_km_(grid.dx_km()),
+      dy_km_(grid.dy_km()),
+      tiles_x_(params.tiles_x),
+      tiles_y_(params.tiles_y),
+      halo_(params.halo_cells) {
+  ESSEX_REQUIRE(tiles_x_ >= 1 && tiles_y_ >= 1,
+                "tiling needs at least one tile per axis");
+  ESSEX_REQUIRE(tiles_x_ <= nx_ && tiles_y_ <= ny_,
+                "tile count exceeds the grid dimension");
+
+  tiles_.reserve(tiles_x_ * tiles_y_);
+  owned_runs_.reserve(tiles_x_ * tiles_y_);
+  for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+      TileRect r;
+      // Balanced partition that absorbs remainders one cell at a time,
+      // so uneven nx/tiles_x still yields non-empty owned ranges.
+      r.x0 = tx * nx_ / tiles_x_;
+      r.x1 = (tx + 1) * nx_ / tiles_x_;
+      r.y0 = ty * ny_ / tiles_y_;
+      r.y1 = (ty + 1) * ny_ / tiles_y_;
+      r.hx0 = r.x0 > halo_ ? r.x0 - halo_ : 0;
+      r.hx1 = std::min(nx_, r.x1 + halo_);
+      r.hy0 = r.y0 > halo_ ? r.y0 - halo_ : 0;
+      r.hy1 = std::min(ny_, r.y1 + halo_);
+      tiles_.push_back(r);
+
+      // Owned packed rows: one run per variable × z-level × cell row,
+      // plus the SSH plane. Ascending begin within the tile.
+      la::RunList runs;
+      runs.reserve((4 * nz_ + 1) * (r.y1 - r.y0));
+      const std::size_t w = r.x1 - r.x0;
+      for (std::size_t var = 0; var < 4; ++var) {
+        for (std::size_t iz = 0; iz < nz_; ++iz) {
+          for (std::size_t iy = r.y0; iy < r.y1; ++iy)
+            runs.push_back({var_index(var, r.x0, iy, iz), w});
+        }
+      }
+      for (std::size_t iy = r.y0; iy < r.y1; ++iy)
+        runs.push_back({ssh_index(r.x0, iy), w});
+      owned_runs_.push_back(std::move(runs));
+    }
+  }
+}
+
+std::size_t Tiling::owner_of(std::size_t ix, std::size_t iy) const {
+  ESSEX_REQUIRE(ix < nx_ && iy < ny_, "cell outside the grid");
+  // Invert the balanced partition: tx is the largest tile whose x0 ≤ ix.
+  std::size_t tx = std::min(tiles_x_ - 1, ix * tiles_x_ / nx_);
+  while (tx + 1 < tiles_x_ && (tx + 1) * nx_ / tiles_x_ <= ix) ++tx;
+  while (tx > 0 && tx * nx_ / tiles_x_ > ix) --tx;
+  std::size_t ty = std::min(tiles_y_ - 1, iy * tiles_y_ / ny_);
+  while (ty + 1 < tiles_y_ && (ty + 1) * ny_ / tiles_y_ <= iy) ++ty;
+  while (ty > 0 && ty * ny_ / tiles_y_ > iy) --ty;
+  return ty * tiles_x_ + tx;
+}
+
+std::size_t Tiling::owned_points(std::size_t t) const {
+  const TileRect& r = tiles_[t];
+  return (r.x1 - r.x0) * (r.y1 - r.y0) * (4 * nz_ + 1);
+}
+
+std::vector<std::pair<std::size_t, double>> Tiling::cover(
+    std::size_t ix, std::size_t iy) const {
+  std::vector<std::pair<std::size_t, double>> out;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    const TileRect& r = tiles_[t];
+    if (!r.covers(ix, iy)) continue;
+    const double w = axis_weight(ix, r.x0, r.x1, halo_) *
+                     axis_weight(iy, r.y0, r.y1, halo_);
+    out.emplace_back(t, w);
+    sum += w;
+  }
+  for (auto& [t, w] : out) w /= sum;
+  return out;
+}
+
+double Tiling::distance_km(std::size_t t, double x_km, double y_km) const {
+  const TileRect& r = tiles_[t];
+  const double x_lo = static_cast<double>(r.x0) * dx_km_;
+  const double x_hi = static_cast<double>(r.x1 - 1) * dx_km_;
+  const double y_lo = static_cast<double>(r.y0) * dy_km_;
+  const double y_hi = static_cast<double>(r.y1 - 1) * dy_km_;
+  const double dx = std::max({0.0, x_lo - x_km, x_km - x_hi});
+  const double dy = std::max({0.0, y_lo - y_km, y_km - y_hi});
+  return std::hypot(dx, dy);
+}
+
+}  // namespace essex::ocean

@@ -1,0 +1,124 @@
+// ESSEX: overlapping tile decomposition of the packed ocean state.
+//
+// Domain localization (DESIGN.md §14) cuts the Grid3D horizontal plane
+// into tiles_x × tiles_y rectangles. Each tile OWNS a disjoint cell
+// range (the owned rects partition the grid exactly), and is extended by
+// a halo of `halo_cells` cells on every side (clamped at the domain
+// edge) for overlap blending. Because the packed state layout interleaves
+// variables and z-levels over the same horizontal plane, a tile's owned
+// packed indices form a short list of contiguous runs — one per
+// variable × z-level × row of cells — which is exactly the shard shape
+// the sharded linalg reductions (la::dot_sharded and friends) and the
+// differ's column store consume.
+//
+// Overlap blending uses per-column partition-of-unity weights: a tile
+// has full weight on its owned cells and a linear rolloff across its
+// halo; cover() normalizes over every covering tile so the weights sum
+// to one at each horizontal cell. All z-levels and variables of a cell
+// column share the cell's weight.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/gram.hpp"
+#include "ocean/grid.hpp"
+
+namespace essex::ocean {
+
+/// Tile-decomposition knobs. The defaults (a single tile, no halo)
+/// describe the degenerate global domain.
+struct TilingParams {
+  std::size_t tiles_x = 1;    ///< tiles across the x (east) axis
+  std::size_t tiles_y = 1;    ///< tiles across the y (north) axis
+  std::size_t halo_cells = 2; ///< blending halo radius, in grid cells
+};
+
+/// One tile's cell rectangles, half-open in both axes.
+struct TileRect {
+  std::size_t x0 = 0, x1 = 0;   ///< owned cells, disjoint across tiles
+  std::size_t y0 = 0, y1 = 0;
+  std::size_t hx0 = 0, hx1 = 0; ///< owned + halo, clamped to the grid
+  std::size_t hy0 = 0, hy1 = 0;
+
+  bool owns(std::size_t ix, std::size_t iy) const {
+    return ix >= x0 && ix < x1 && iy >= y0 && iy < y1;
+  }
+  bool covers(std::size_t ix, std::size_t iy) const {
+    return ix >= hx0 && ix < hx1 && iy >= hy0 && iy < hy1;
+  }
+};
+
+/// The immutable tile decomposition of one grid. Owns no state data —
+/// only geometry: extents, packed-index run lists and blending weights.
+class Tiling {
+ public:
+  /// Requires 1 ≤ tiles_x ≤ grid.nx() and 1 ≤ tiles_y ≤ grid.ny() so
+  /// every tile owns at least one cell. Any halo is accepted (clamping
+  /// keeps the geometry valid); workflow::validate() flags halos that
+  /// reach past the nearest neighbour as a configuration smell.
+  Tiling(const Grid3D& grid, const TilingParams& params);
+
+  std::size_t tiles_x() const { return tiles_x_; }
+  std::size_t tiles_y() const { return tiles_y_; }
+  std::size_t tile_count() const { return tiles_.size(); }
+  std::size_t halo_cells() const { return halo_; }
+  const TileRect& tile(std::size_t t) const { return tiles_[t]; }
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+
+  /// Packed-state length this tiling was built for:
+  /// 4·nx·ny·nz + nx·ny (the OceanState pack contract).
+  std::size_t packed_size() const { return 4 * points_ + nx_ * ny_; }
+
+  /// Packed index of 3-D variable `var` ∈ {0:T, 1:S, 2:u, 3:v} at cell
+  /// (ix, iy, iz) — matches Grid3D::index and OceanState::pack.
+  std::size_t var_index(std::size_t var, std::size_t ix, std::size_t iy,
+                        std::size_t iz) const {
+    return var * points_ + (iz * ny_ + iy) * nx_ + ix;
+  }
+  /// Packed index of SSH at cell (ix, iy).
+  std::size_t ssh_index(std::size_t ix, std::size_t iy) const {
+    return 4 * points_ + iy * nx_ + ix;
+  }
+
+  /// Tile that owns cell (ix, iy).
+  std::size_t owner_of(std::size_t ix, std::size_t iy) const;
+
+  /// Tile t's owned packed rows as contiguous runs (the shard shape for
+  /// la::dot_sharded et al.). Runs are ascending and disjoint; across
+  /// all tiles they cover [0, packed_size()) exactly once.
+  const la::RunList& owned_runs(std::size_t t) const {
+    return owned_runs_[t];
+  }
+  /// All tiles' run lists, tile-major — the span the sharded reductions
+  /// take.
+  std::span<const la::RunList> shards() const { return owned_runs_; }
+
+  /// Owned packed-row count of tile t: (x1-x0)·(y1-y0)·(4·nz + 1).
+  std::size_t owned_points(std::size_t t) const;
+
+  /// Partition-of-unity cover of cell (ix, iy): the tiles whose halo
+  /// rect contains the cell, ascending tile id, with blending weights
+  /// normalized to sum to 1. The owner is always present; with a zero
+  /// halo it is the only entry with weight 1.
+  std::vector<std::pair<std::size_t, double>> cover(std::size_t ix,
+                                                    std::size_t iy) const;
+
+  /// Horizontal distance (km) from point (x_km, y_km) to tile t's owned
+  /// cell rectangle (0 inside). Cell (ix, iy) sits at (ix·dx, iy·dy),
+  /// the same mapping the observation stencils use.
+  double distance_km(std::size_t t, double x_km, double y_km) const;
+
+ private:
+  std::size_t nx_, ny_, nz_, points_;
+  double dx_km_, dy_km_;
+  std::size_t tiles_x_, tiles_y_, halo_;
+  std::vector<TileRect> tiles_;
+  std::vector<la::RunList> owned_runs_;
+};
+
+}  // namespace essex::ocean

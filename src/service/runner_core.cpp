@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -93,7 +94,13 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
   }
 
   esse::PerturbationGenerator pert(request.subspace, cp.perturbation);
-  esse::Differ differ(central);
+  // Localized requests shard the differ's column store by the analysis
+  // tiling so forecast-stage reductions use the same fixed per-tile
+  // shapes the tiled analysis does (DESIGN.md §14).
+  std::shared_ptr<const ocean::Tiling> tiling;
+  if (cp.localization.enabled)
+    tiling = std::make_shared<const ocean::Tiling>(model.grid(), cp.tiling);
+  esse::Differ differ(central, tiling);
   differ.set_sink(sink);  // differ.* cache counters + check latency
   esse::ConvergenceTest conv(cp.convergence);
   esse::EnsembleSizeController sizer(cp.ensemble);
@@ -117,11 +124,11 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
           const std::atomic<bool>& cancelled) {
         if (cancelled.load(std::memory_order_relaxed)) return;
         telemetry::ScopedTimer timer(sink, "runner.member_s");
-        if (config.inject.failure_probability > 0.0) {
+        if (config.inject.segment.probability > 0.0) {
           // Deterministic per-(member, attempt) stream — mirrors the
           // per-job RNG keying of the DES failure injection.
           Rng inject_rng(config.inject.seed, (id << 20) | attempt);
-          if (inject_rng.uniform() < config.inject.failure_probability) {
+          if (inject_rng.uniform() < config.inject.segment.probability) {
             throw std::runtime_error("injected member failure");
           }
         }

@@ -1,5 +1,6 @@
 #include "testkit/differential.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -149,6 +150,96 @@ DifferentialReport run_differential_oracle(std::uint64_t seed,
       os << "posterior states disagree: rms diff = " << rep.posterior_rms_diff;
       fail(os.str());
     }
+  }
+
+  rep.detail = detail.str();
+  return rep;
+}
+
+LocalAnalysisReport run_local_analysis_oracle(std::uint64_t seed,
+                                              std::size_t threads) {
+  ocean::Scenario sc = ocean::make_double_gyre_scenario(12, 10, 3);
+  ocean::OceanModel model(sc.grid, sc.params, ocean::WindForcing(sc.wind),
+                          sc.initial);
+  const esse::ErrorSubspace subspace = esse::bootstrap_subspace(
+      model, sc.initial, 0.0, 2.0, 8, 0.99, 8, seed);
+
+  // A short central forecast to assimilate against, plus observations of
+  // it with the probe-then-perturb idiom the serial-vs-MTC oracle uses.
+  ocean::OceanState state = sc.initial;
+  model.run(state, 0.0, 2.0, nullptr);
+  const la::Vector forecast = state.pack();
+
+  ObsDomain domain;
+  domain.x_hi_km = sc.grid.dx_km() * static_cast<double>(sc.grid.nx() - 1);
+  domain.y_hi_km = sc.grid.dy_km() * static_cast<double>(sc.grid.ny() - 1);
+  domain.depth_hi_m = 150.0;
+  Rng obs_rng(seed ^ 0x70c4fULL);
+  obs::ObservationSet set = gen_observations(domain, 10, 18).create(obs_rng);
+  Rng value_rng(seed ^ 0x3a91ULL);
+  obs::ObsOperator probe(sc.grid, set);
+  const la::Vector at_forecast = probe.apply(forecast);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    set[i].value = at_forecast[i] + value_rng.normal(0.0, set[i].noise_std);
+  obs::ObsOperator h(sc.grid, std::move(set));
+  const esse::ObsSet obs = esse::ObsSet::from_operator(h);
+
+  LocalAnalysisReport rep;
+  std::ostringstream detail;
+  const auto fail = [&](const std::string& what) {
+    rep.ok = false;
+    detail << "tiled-vs-global: " << what << " (reproduce: seed=0x"
+           << std::hex << seed << std::dec << ", threads=" << threads
+           << ")\n";
+  };
+
+  const esse::AnalysisResult global = esse::analyze(forecast, subspace, obs);
+
+  esse::AnalysisOptions options;
+  options.localization.enabled = true;
+  // Far beyond the domain diagonal: every taper is ≈ 1 and the tiled
+  // update must collapse onto the global one.
+  options.localization.radius_km =
+      1e4 * (domain.x_hi_km + domain.y_hi_km);
+  options.tiling.tiles_x = 3;
+  options.tiling.tiles_y = 2;
+  options.tiling.halo_cells = 2;
+  options.threads = threads;
+  options.grid = &sc.grid;
+  const esse::AnalysisResult tiled = esse::analyze(forecast, subspace, obs,
+                                                   options);
+
+  constexpr double kPosteriorRms = 1e-6;
+  rep.posterior_rms_diff =
+      la::rms_diff(global.posterior_state, tiled.posterior_state);
+  rep.tiled_prior_trace = tiled.prior_trace;
+  rep.tiled_posterior_trace = tiled.posterior_trace;
+  if (rep.posterior_rms_diff > kPosteriorRms) {
+    std::ostringstream os;
+    os << "posterior states disagree at untapered radius: rms diff = "
+       << rep.posterior_rms_diff;
+    fail(os.str());
+  }
+  // "Analysis never hurts": the blended posterior is a convex quadratic
+  // mixture of per-tile posteriors, each ≼ the prior, so the trace must
+  // not grow — at any radius.
+  const double slack = 1e-9 * std::max(1.0, tiled.prior_trace);
+  if (tiled.posterior_trace > tiled.prior_trace + slack) {
+    std::ostringstream os;
+    os << "tiled analysis hurt at untapered radius: posterior trace "
+       << tiled.posterior_trace << " > prior trace " << tiled.prior_trace;
+    fail(os.str());
+  }
+
+  // Tight radius: tapering drops most observations from most tiles.
+  options.localization.radius_km = 0.25 * domain.x_hi_km;
+  const esse::AnalysisResult tight = esse::analyze(forecast, subspace, obs,
+                                                   options);
+  if (tight.posterior_trace > tight.prior_trace + slack) {
+    std::ostringstream os;
+    os << "tiled analysis hurt at tight radius: posterior trace "
+       << tight.posterior_trace << " > prior trace " << tight.prior_trace;
+    fail(os.str());
   }
 
   rep.detail = detail.str();

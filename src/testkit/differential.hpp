@@ -32,4 +32,25 @@ struct DifferentialReport {
 DifferentialReport run_differential_oracle(std::uint64_t seed,
                                            std::size_t threads = 3);
 
+/// Outcome of one tiled-vs-global analysis comparison (DESIGN.md §14).
+struct LocalAnalysisReport {
+  bool ok = true;
+  /// Failure narrative; every line embeds the reproducing seed.
+  std::string detail;
+  double posterior_rms_diff = 0;  ///< tiled vs global posterior state
+  double tiled_prior_trace = 0;
+  double tiled_posterior_trace = 0;  ///< must never exceed the prior
+};
+
+/// Build one seeded scenario and run the ESSE analysis twice against the
+/// same observations: globally (localization off) and tiled with a
+/// localization radius far larger than the domain, on `threads` workers.
+/// At that radius every taper is ≈1, so the tiled update must reproduce
+/// the global posterior to round-off (rms ≤ 1e-6); and regardless of
+/// radius the analysis must not hurt — the tiled posterior trace must
+/// not exceed the prior trace. A second, tight-radius tiled pass checks
+/// the never-hurts clause where tapering actually bites.
+LocalAnalysisReport run_local_analysis_oracle(std::uint64_t seed,
+                                              std::size_t threads = 3);
+
 }  // namespace essex::testkit

@@ -199,31 +199,89 @@ Gen<obs::ObservationSet> gen_observations(ObsDomain domain, std::size_t n_lo,
   return g;
 }
 
+Gen<TilingCase> gen_tiling(std::size_t n_lo, std::size_t n_hi) {
+  Gen<TilingCase> g;
+  g.create = [=](Rng& rng) {
+    TilingCase tc;
+    tc.nx = draw_size(rng, n_lo, n_hi - 1);
+    tc.ny = draw_size(rng, n_lo, n_hi - 1);
+    tc.nz = draw_size(rng, 1, 4);
+    // Bias toward small tile counts but include the degenerate extremes:
+    // a single tile and one tile per grid column/row.
+    const double roll = rng.uniform();
+    if (roll < 0.15) {
+      tc.params.tiles_x = 1;
+      tc.params.tiles_y = 1;
+    } else if (roll < 0.30) {
+      tc.params.tiles_x = tc.nx;
+      tc.params.tiles_y = tc.ny;
+    } else {
+      tc.params.tiles_x = draw_size(rng, 1, std::min<std::size_t>(tc.nx, 5));
+      tc.params.tiles_y = draw_size(rng, 1, std::min<std::size_t>(tc.ny, 5));
+    }
+    // Halos may exceed a tile's extent; the Tiling clamps them.
+    tc.params.halo_cells = draw_size(rng, 0, 4);
+    return tc;
+  };
+  g.shrink = [](const TilingCase& tc) {
+    std::vector<TilingCase> cands;
+    if (tc.params.halo_cells > 0) {
+      TilingCase no_halo = tc;
+      no_halo.params.halo_cells = 0;
+      cands.push_back(no_halo);
+    }
+    if (tc.params.tiles_x > 1 || tc.params.tiles_y > 1) {
+      TilingCase one = tc;
+      one.params.tiles_x = 1;
+      one.params.tiles_y = 1;
+      cands.push_back(one);
+      TilingCase halved = tc;
+      halved.params.tiles_x = std::max<std::size_t>(1, tc.params.tiles_x / 2);
+      halved.params.tiles_y = std::max<std::size_t>(1, tc.params.tiles_y / 2);
+      cands.push_back(halved);
+    }
+    if (tc.nz > 1) {
+      TilingCase flat = tc;
+      flat.nz = 1;
+      cands.push_back(flat);
+    }
+    return cands;
+  };
+  g.describe = [](const TilingCase& tc) {
+    std::ostringstream os;
+    os << "grid " << tc.nx << "x" << tc.ny << "x" << tc.nz << " tiles "
+       << tc.params.tiles_x << "x" << tc.params.tiles_y << " halo "
+       << tc.params.halo_cells;
+    return os.str();
+  };
+  return g;
+}
+
 Gen<mtc::FaultInjection> gen_fault_schedule(double max_failure_probability,
                                             bool allow_outages) {
   Gen<mtc::FaultInjection> g;
   g.create = [=](Rng& rng) {
     mtc::FaultInjection inj;
-    inj.failure_probability = rng.uniform(0.0, max_failure_probability);
-    inj.failure_fraction = rng.uniform(0.05, 0.95);
+    inj.segment.probability = rng.uniform(0.0, max_failure_probability);
+    inj.segment.fraction = rng.uniform(0.05, 0.95);
     if (allow_outages && rng.uniform() < 0.5) {
-      inj.node_mtbf_s = rng.uniform(300.0, 7200.0);
-      inj.node_outage_s = rng.uniform(60.0, 1200.0);
+      inj.outage.mtbf_s = rng.uniform(300.0, 7200.0);
+      inj.outage.duration_s = rng.uniform(60.0, 1200.0);
     }
     inj.seed = rng();
     return inj;
   };
   g.shrink = [](const mtc::FaultInjection& inj) {
     std::vector<mtc::FaultInjection> cands;
-    if (inj.node_mtbf_s > 0.0) {
+    if (inj.outage.mtbf_s > 0.0) {
       mtc::FaultInjection no_outage = inj;
-      no_outage.node_mtbf_s = 0.0;
+      no_outage.outage.mtbf_s = 0.0;
       cands.push_back(no_outage);
     }
-    if (inj.failure_probability > 0.0) {
+    if (inj.segment.probability > 0.0) {
       mtc::FaultInjection calmer = inj;
-      calmer.failure_probability = inj.failure_probability > 0.01
-                                       ? inj.failure_probability / 2.0
+      calmer.segment.probability = inj.segment.probability > 0.01
+                                       ? inj.segment.probability / 2.0
                                        : 0.0;
       cands.push_back(calmer);
     }
@@ -231,8 +289,8 @@ Gen<mtc::FaultInjection> gen_fault_schedule(double max_failure_probability,
   };
   g.describe = [](const mtc::FaultInjection& inj) {
     std::ostringstream os;
-    os << "faults p=" << inj.failure_probability
-       << " mtbf=" << inj.node_mtbf_s << "s seed=" << inj.seed;
+    os << "faults p=" << inj.segment.probability
+       << " mtbf=" << inj.outage.mtbf_s << "s seed=" << inj.seed;
     return os.str();
   };
   return g;

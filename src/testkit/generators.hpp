@@ -18,6 +18,7 @@
 #include "linalg/matrix.hpp"
 #include "mtc/fault.hpp"
 #include "obs/observation.hpp"
+#include "ocean/tiling.hpp"
 
 namespace essex::testkit {
 
@@ -76,6 +77,21 @@ Gen<obs::ObservationSet> gen_observations(ObsDomain domain,
                                           std::size_t n_hi,
                                           double noise_lo = 0.05,
                                           double noise_hi = 1.0);
+
+/// A grid geometry together with a tile decomposition of it, for the
+/// tiling-invariant properties (DESIGN.md §14): every generated case is
+/// constructible (tile counts never exceed the grid dims), but halos may
+/// be oversized relative to a tile — the Tiling clamps them, and the
+/// partition invariants must hold regardless.
+struct TilingCase {
+  std::size_t nx = 1, ny = 1, nz = 1;
+  ocean::TilingParams params;
+};
+
+/// Random tiled domains with nx, ny in [n_lo, n_hi), nz in [1, 4],
+/// including single-tile and maximally-tiled (one column/row per tile)
+/// decompositions. Shrinks toward the 1×1-tile, zero-halo case.
+Gen<TilingCase> gen_tiling(std::size_t n_lo = 4, std::size_t n_hi = 24);
 
 /// Fault schedules: per-attempt failure probability up to
 /// `max_failure_probability`, optionally with a node-outage process.

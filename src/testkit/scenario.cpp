@@ -110,9 +110,9 @@ DesLeg run_des_leg(const ScenarioSpec& spec) {
                                 ? mtc::sge_params()
                                 : mtc::condor_params();
   if (spec.fault == FaultProfile::kEvictionHeavy) {
-    sp.faults.failure_probability = 0.08;
-    sp.faults.node_mtbf_s = 600.0;
-    sp.faults.node_outage_s = 120.0;
+    sp.faults.segment.probability = 0.08;
+    sp.faults.outage.mtbf_s = 600.0;
+    sp.faults.outage.duration_s = 120.0;
   }
   sp.faults.seed = spec.seed;
 
@@ -172,7 +172,7 @@ esse::ForecastResult run_science_forecast(const ScenarioSpec& spec,
     // (member, attempt), and with speculation and timeouts off the
     // retry sequence is schedule-independent, so the digest oracle must
     // still hold (DESIGN.md §10).
-    cfg.inject.failure_probability = 0.15;
+    cfg.inject.segment.probability = 0.15;
     cfg.inject.seed = spec.seed ^ 0xFA017ULL;
     cfg.fault.speculate = false;
     cfg.fault.timeout_multiple = 0.0;

@@ -33,4 +33,18 @@ esse::ForecastResult golden_forecast(
 std::string golden_digest(std::size_t threads,
                           std::function<void(std::size_t)> arrival_hook = {});
 
+/// The same canonical run with localization switched on (3×2 tiles,
+/// halo 1, 40 km radius): the differ's column store is sharded by the
+/// tiling, so this exercises the sharded reduction shapes end to end.
+/// Not pinned against a checked-in golden value — the determinism suite
+/// asserts self-consistency across thread counts, SIMD tiers and
+/// adversarial arrival orders, plus that the *untiled* digest is
+/// untouched by the redesign.
+esse::ForecastResult golden_tiled_forecast(
+    std::size_t threads,
+    std::function<void(std::size_t)> arrival_hook = {});
+
+std::string golden_tiled_digest(
+    std::size_t threads, std::function<void(std::size_t)> arrival_hook = {});
+
 }  // namespace essex::workflow

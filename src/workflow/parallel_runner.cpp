@@ -1,5 +1,6 @@
 #include "workflow/parallel_runner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ocean/state.hpp"
@@ -54,10 +55,17 @@ std::vector<ValidationIssue> validate(const ParallelRunnerConfig& config) {
   check(issues, config.fault.min_members >= 1, "config.fault.min_members",
         "graceful-degradation floor must be >= 1");
   check(issues,
-        config.inject.failure_probability >= 0.0 &&
-            config.inject.failure_probability <= 1.0,
-        "config.inject.failure_probability",
+        config.inject.segment.probability >= 0.0 &&
+            config.inject.segment.probability <= 1.0,
+        "config.inject.segment.probability",
         "failure probability must lie in [0, 1]");
+  check(issues, !cp.localization.enabled || cp.localization.radius_km > 0.0,
+        "config.cycle.localization.radius_km",
+        "localization radius must be positive when localization is on");
+  check(issues, cp.tiling.tiles_x >= 1, "config.cycle.tiling.tiles_x",
+        "tile count must be >= 1");
+  check(issues, cp.tiling.tiles_y >= 1, "config.cycle.tiling.tiles_y",
+        "tile count must be >= 1");
   return issues;
 }
 
@@ -73,6 +81,36 @@ std::vector<ValidationIssue> validate(const ForecastRequest& request) {
        << " does not match the model's packed state size "
        << ocean::OceanState::packed_size(request.model.grid());
     issues.push_back({"request.subspace", os.str()});
+  }
+  // Tiling geometry checks need the grid, so they live on the request.
+  const esse::CycleParams& cp = request.config.cycle;
+  const ocean::Grid3D& grid = request.model.grid();
+  if (cp.localization.enabled && cp.tiling.tiles_x >= 1 &&
+      cp.tiling.tiles_y >= 1) {
+    if (cp.tiling.tiles_x > grid.nx()) {
+      std::ostringstream os;
+      os << "tiles_x " << cp.tiling.tiles_x << " exceeds the grid's nx "
+         << grid.nx();
+      issues.push_back({"config.cycle.tiling.tiles_x", os.str()});
+    }
+    if (cp.tiling.tiles_y > grid.ny()) {
+      std::ostringstream os;
+      os << "tiles_y " << cp.tiling.tiles_y << " exceeds the grid's ny "
+         << grid.ny();
+      issues.push_back({"config.cycle.tiling.tiles_y", os.str()});
+    }
+    if (cp.tiling.tiles_x <= grid.nx() && cp.tiling.tiles_y <= grid.ny()) {
+      // The smallest owned extent of the balanced partition.
+      const std::size_t min_ext = std::min(grid.nx() / cp.tiling.tiles_x,
+                                           grid.ny() / cp.tiling.tiles_y);
+      if (cp.tiling.halo_cells >= min_ext) {
+        std::ostringstream os;
+        os << "halo of " << cp.tiling.halo_cells
+           << " cells reaches past the smallest tile extent (" << min_ext
+           << " cells): blending would span non-neighbouring tiles";
+        issues.push_back({"config.cycle.tiling.halo_cells", os.str()});
+      }
+    }
   }
   return issues;
 }

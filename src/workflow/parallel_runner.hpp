@@ -39,7 +39,8 @@ struct ParallelRunnerConfig {
   /// FaultTolerantExecutor the DES driver uses.
   mtc::FaultPolicy fault;
   /// Failure injection for tests/benches: attempt (member, k) throws
-  /// with `failure_probability`, drawn from a per-attempt RNG stream.
+  /// with `inject.segment.probability`, drawn from a per-attempt RNG
+  /// stream.
   mtc::FaultInjection inject;
   /// Test hook, called on the worker thread just before a finished
   /// member's forecast is absorbed into the differ. The determinism

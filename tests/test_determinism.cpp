@@ -79,6 +79,25 @@ TEST(Determinism, AdversarialArrivalSchedulesDoNotChangeTheForecast) {
   EXPECT_EQ(shuffled, digest_threads1());
 }
 
+TEST(Determinism, TiledForecastIsThreadAndArrivalInvariant) {
+  // The localized run (sharded differ reductions, DESIGN.md §14) obeys
+  // the same contract as the global one: one digest across thread counts
+  // and adversarial arrival schedules. It is asserted self-consistent,
+  // not pinned — the checked-in golden digest belongs to the untiled
+  // run, which the localization redesign must leave untouched (the
+  // MatchesCheckedInGoldenDigest test below).
+  const std::string baseline = golden_tiled_digest(1);
+  EXPECT_EQ(golden_tiled_digest(4), baseline);
+  const std::string shuffled = golden_tiled_digest(4, [](std::size_t id) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds((id * 37 + 11) % 7));
+  });
+  EXPECT_EQ(shuffled, baseline);
+  // And localization genuinely changed the product: same seed, different
+  // update, different digest.
+  EXPECT_NE(baseline, digest_threads1());
+}
+
 TEST(Determinism, SerializedProductIsSelfConsistent) {
   const esse::ForecastResult res = golden_forecast(2);
   const std::string bytes = esse::serialize_forecast_product(res);

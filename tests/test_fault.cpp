@@ -374,7 +374,7 @@ ClusterScheduler::JobBody compute_job(double seconds) {
 std::set<JobId> failing_jobs(std::size_t n_jobs) {
   Simulator sim;
   SchedulerParams sp = sge_params();
-  sp.faults.failure_probability = 0.3;
+  sp.faults.segment.probability = 0.3;
   sp.faults.seed = 97;
   ClusterScheduler sched(sim, tiny_cluster(4, 2), sp);
   for (std::size_t i = 0; i < n_jobs; ++i) sched.submit(compute_job(10.0));
@@ -406,8 +406,8 @@ TEST(NodeOutages, EvictRunningJobsAndRecover) {
   Simulator sim;
   telemetry::Sink sink("outages");
   SchedulerParams sp = sge_params();
-  sp.faults.node_mtbf_s = 40.0;   // fleet-level Poisson clock
-  sp.faults.node_outage_s = 30.0;
+  sp.faults.outage.mtbf_s = 40.0;   // fleet-level Poisson clock
+  sp.faults.outage.duration_s = 30.0;
   sp.faults.seed = 5;
   ClusterScheduler sched(sim, tiny_cluster(4, 2), sp);
   sched.set_telemetry(&sink);
@@ -486,7 +486,7 @@ WorkflowMetrics run_faulty(EsseWorkflowConfig cfg,
 
 TEST(FaultyWorkflow, RetriesRecoverInjectedFailures) {
   mtc::SchedulerParams sp = mtc::sge_params();
-  sp.faults.failure_probability = 0.2;
+  sp.faults.segment.probability = 0.2;
   sp.faults.seed = 17;
   WorkflowMetrics m = run_faulty(wf_config(), sp);
   EXPECT_TRUE(m.converged);
@@ -498,8 +498,8 @@ TEST(FaultyWorkflow, RetriesRecoverInjectedFailures) {
 
 TEST(FaultyWorkflow, NodeOutagesAreAbsorbedWithZeroLoss) {
   mtc::SchedulerParams sp = mtc::sge_params();
-  sp.faults.node_mtbf_s = 60.0;
-  sp.faults.node_outage_s = 50.0;
+  sp.faults.outage.mtbf_s = 60.0;
+  sp.faults.outage.duration_s = 50.0;
   sp.faults.seed = 9;
   EsseWorkflowConfig cfg = wf_config();
   cfg.converge_at = 64;  // longer run → outages certain to strike
@@ -512,8 +512,8 @@ TEST(FaultyWorkflow, NodeOutagesAreAbsorbedWithZeroLoss) {
 
 TEST(FaultyWorkflow, FaultyRunsAreDeterministic) {
   mtc::SchedulerParams sp = mtc::sge_params();
-  sp.faults.failure_probability = 0.25;
-  sp.faults.node_mtbf_s = 120.0;
+  sp.faults.segment.probability = 0.25;
+  sp.faults.outage.mtbf_s = 120.0;
   sp.faults.seed = 4242;
   WorkflowMetrics a = run_faulty(wf_config(), sp);
   WorkflowMetrics b = run_faulty(wf_config(), sp);
@@ -529,7 +529,7 @@ TEST(FaultyWorkflow, ConvergenceCancellationRacesInjectedFailures) {
   // and while some failed members are waiting out their backoff: the
   // drain must terminate with consistent counts either way.
   mtc::SchedulerParams sp = mtc::sge_params();
-  sp.faults.failure_probability = 0.3;
+  sp.faults.segment.probability = 0.3;
   sp.faults.seed = 71;
   EsseWorkflowConfig cfg = wf_config();
   cfg.pool_headroom = 2.0;
@@ -567,7 +567,7 @@ TEST(FaultyWorkflow, ConvergedRunWithLossesReportsDegraded) {
   mtc::SchedulerParams sp = mtc::sge_params();
   // Injection strikes each of the two compute segments independently:
   // p=0.3 leaves ~half the pool alive, far above the converge_at bar.
-  sp.faults.failure_probability = 0.3;
+  sp.faults.segment.probability = 0.3;
   sp.faults.seed = 23;
   EsseWorkflowConfig cfg = wf_config();
   cfg.fault.max_retries = 0;    // every failure is a permanent loss
@@ -619,7 +619,7 @@ workflow::ParallelRunnerConfig fast_retry_config() {
 TEST_F(FaultRunnerFixture, InjectedFailuresAreRetriedToCompletion) {
   workflow::ParallelRunnerConfig cfg = fast_retry_config();
   cfg.fault.max_retries = 6;  // loss probability 0.3^7 ≈ 2e-4 per member
-  cfg.inject.failure_probability = 0.3;
+  cfg.inject.segment.probability = 0.3;
   cfg.inject.seed = 77;
   ForecastResult res = workflow::run_parallel_forecast(
       workflow::ForecastRequest{*model, sc->initial, subspace, 0.0, cfg});
@@ -635,7 +635,7 @@ TEST_F(FaultRunnerFixture, InjectedFailuresAreRetriedToCompletion) {
 TEST_F(FaultRunnerFixture, AllMembersLostTripsTheDegradationFloor) {
   workflow::ParallelRunnerConfig cfg = fast_retry_config();
   cfg.fault.max_retries = 0;
-  cfg.inject.failure_probability = 1.0;  // every attempt dies
+  cfg.inject.segment.probability = 1.0;  // every attempt dies
   EXPECT_THROW(
       workflow::run_parallel_forecast(workflow::ForecastRequest{
           *model, sc->initial, subspace, 0.0, cfg}),

@@ -296,7 +296,7 @@ TEST(Submission, ArrayOverheadIsLowerThanSingleton) {
 TEST(FailureInjection, SomeJobsFailAtConfiguredRate) {
   Simulator sim;
   SchedulerParams p = sge_params();
-  p.faults.failure_probability = 0.3;
+  p.faults.segment.probability = 0.3;
   p.faults.seed = 99;
   ClusterScheduler sched(sim, tiny_cluster(8, 2), p);
   std::size_t failed = 0, done = 0;
@@ -314,7 +314,7 @@ TEST(FailureInjection, SomeJobsFailAtConfiguredRate) {
 TEST(FailureInjection, FailedJobStillFreesCore) {
   Simulator sim;
   SchedulerParams p = sge_params();
-  p.faults.failure_probability = 1.0;  // everything dies
+  p.faults.segment.probability = 1.0;  // everything dies
   p.dispatch_latency_s = 0.0;
   p.array_submit_overhead_s = 0.0;
   ClusterScheduler sched(sim, tiny_cluster(1, 1), p);

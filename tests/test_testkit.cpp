@@ -232,8 +232,8 @@ TEST(Generators, FaultScheduleShrinksTowardNoFaults) {
     if (cands.empty()) break;
     inj = cands.front();
   }
-  EXPECT_EQ(inj.failure_probability, 0.0);
-  EXPECT_EQ(inj.node_mtbf_s, 0.0);
+  EXPECT_EQ(inj.segment.probability, 0.0);
+  EXPECT_EQ(inj.outage.mtbf_s, 0.0);
 }
 
 TEST(Generators, ArrivalHookToleratesOutOfRangeMembers) {

@@ -193,7 +193,7 @@ TEST(Failures, WorkflowToleratesFailedMembers) {
   EsseWorkflowConfig cfg = test_config();
   cfg.converge_at = 24;  // reachable despite failures
   mtc::SchedulerParams sparams = mtc::sge_params();
-  sparams.faults.failure_probability = 0.2;
+  sparams.faults.segment.probability = 0.2;
   WorkflowMetrics m = run(true, cfg, sparams);
   EXPECT_TRUE(m.converged);
   EXPECT_GT(m.members_failed, 0u);

@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Kernel perf ratchet: fail CI when a SIMD speedup regresses.
+"""Kernel perf ratchet: fail CI when a tracked speedup regresses.
 
-Reads the JSON written by bench_linalg_kernels (results/
-bench_linalg_kernels.json) and compares each kernel's scalar-vs-SIMD
+Reads one or more bench JSON files (results/bench_linalg_kernels.json,
+results/bench_local_analysis.json, ...) and compares each kernel's
 speedup against the floors in tests/perf_baseline.json. Speedup ratios
-are dimensionless, so the ratchet is machine-portable: a slower CI box
-slows the scalar and SIMD runs together.
+are dimensionless — SIMD-vs-scalar for the kernel bench, N-threads-vs-1
+for the tiled-analysis bench — so the ratchet is machine-portable: a
+slower CI box slows both sides of each ratio together.
 
-Gating is skipped (exit 0) when the bench ran on the scalar dispatch
-tier — there is nothing to ratchet when the hardware (or an
-ESSEX_SIMD_LEVEL override) turns the vector kernels off.
+Bench files may declare kernels they could not measure honestly on the
+current machine (e.g. thread-scaling points on a box with fewer cores)
+in a top-level "skipped" list; those baseline floors are passed over
+with a note instead of failing. A bench file that ran on the scalar
+dispatch tier is likewise skipped wholesale — there is nothing to
+ratchet when the hardware (or an ESSEX_SIMD_LEVEL override) turns the
+vector kernels off.
 
 Usage:
-    python3 tools/check_perf.py <bench.json> [baseline.json]
+    python3 tools/check_perf.py <bench.json> [<bench.json> ...] [baseline.json]
+
+The baseline argument is recognised by shape (its "kernels" table is an
+object of floors, a bench's is a list of measurements), so the classic
+two-argument form keeps working. Defaults to tests/perf_baseline.json.
 
 Exit codes: 0 ok, 1 perf regressed, 2 bad inputs.
 """
@@ -30,21 +39,42 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    bench_path = argv[1]
-    baseline_path = argv[2] if len(argv) > 2 else "tests/perf_baseline.json"
 
-    with open(bench_path, encoding="utf-8") as fh:
-        bench = json.load(fh)
-    with open(baseline_path, encoding="utf-8") as fh:
-        baseline = json.load(fh)
+    baseline = None
+    baseline_path = "tests/perf_baseline.json"
+    benches = []
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if isinstance(doc.get("kernels"), dict):
+            baseline = doc
+            baseline_path = path
+        else:
+            benches.append((path, doc))
+    if baseline is None:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    if not benches:
+        print("error: no bench JSON given", file=sys.stderr)
+        return 2
 
-    level = bench.get("simd_level", "")
-    if level == "scalar":
-        print("perf ratchet: bench ran on the scalar tier — nothing to "
-              "gate, skipping")
+    measured = {}
+    skipped = set()
+    gated_any = False
+    for path, bench in benches:
+        if bench.get("simd_level", "") == "scalar":
+            print(f"perf ratchet: {path} ran on the scalar tier — "
+                  "skipping its kernels")
+            continue
+        gated_any = True
+        for k in bench.get("kernels", []):
+            measured[k.get("name")] = k
+        skipped.update(bench.get("skipped", []))
+    if not gated_any:
+        print("perf ratchet: every bench ran on the scalar tier — nothing "
+              "to gate, skipping")
         return 0
 
-    measured = {k.get("name"): k for k in bench.get("kernels", [])}
     floors = baseline.get("kernels", {})
     if not floors:
         print(f"error: {baseline_path} has no 'kernels' table",
@@ -57,6 +87,10 @@ def main(argv):
         floor = want * (1.0 - SLACK_FRAC)
         got = measured.get(name)
         if got is None:
+            if name in skipped:
+                print(f"{name:<18} skipped (bench declared it unmeasurable "
+                      "on this machine)")
+                continue
             print(f"error: bench output has no kernel '{name}'",
                   file=sys.stderr)
             return 2
@@ -71,7 +105,7 @@ def main(argv):
               f"baseline {want:.2f}x (floor {floor:.2f}x)  {verdict}")
 
     if failed:
-        print(f"FAIL: SIMD speedup regressed for: {', '.join(failed)}. "
+        print(f"FAIL: tracked speedup regressed for: {', '.join(failed)}. "
               f"Either restore the kernel or (with reviewer sign-off) "
               f"lower {baseline_path}", file=sys.stderr)
         return 1
