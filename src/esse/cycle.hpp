@@ -16,6 +16,7 @@
 #include "esse/convergence.hpp"
 #include "esse/differ.hpp"
 #include "esse/error_subspace.hpp"
+#include "esse/multilevel.hpp"
 #include "esse/perturbation.hpp"
 #include "obs/observation.hpp"
 #include "ocean/model.hpp"
@@ -43,6 +44,14 @@ struct CycleParams {
   /// column store is sharded by the same tiling.
   LocalizationParams localization;
   ocean::TilingParams tiling;
+  /// Multilevel (multi-fidelity) ensemble (DESIGN.md §15). Off by
+  /// default (levels == 1): the single-level path, bitwise identical to
+  /// the pre-multilevel cycle. When enabled, the MTC runner executes the
+  /// planned per-level member mix instead of the adaptive
+  /// `ensemble`-controller schedule (pool growth and headroom do not
+  /// apply — the level layout is fixed up front so column weights are
+  /// schedule-free).
+  MultilevelParams multilevel;
   /// Graceful-degradation floor N′: the analysis stage accepts a forecast
   /// built from fewer members than planned (survivors of a faulty run),
   /// but refuses to assimilate below this many members.

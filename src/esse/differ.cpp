@@ -134,13 +134,30 @@ Differ::Differ(la::Vector central,
       std::max<std::size_t>(std::size_t{1} << 16, central_.size() * 8));
 }
 
-void Differ::add_member(std::size_t member_id, const la::Vector& forecast) {
+void Differ::add_member(std::size_t member_id, const la::Vector& forecast,
+                        double weight) {
   ESSEX_REQUIRE(forecast.size() == central_.size(),
                 "member forecast dimension mismatch");
   const std::span<double> anom = arena_->allocate(central_.size());
-  for (std::size_t i = 0; i < anom.size(); ++i)
-    anom[i] = forecast[i] - central_[i];
+  if (weight == 1.0) {
+    for (std::size_t i = 0; i < anom.size(); ++i)
+      anom[i] = forecast[i] - central_[i];
+  } else {
+    for (std::size_t i = 0; i < anom.size(); ++i)
+      anom[i] = (forecast[i] - central_[i]) * weight;
+  }
+  absorb(member_id, anom);
+}
 
+void Differ::add_anomaly(std::size_t member_id, const la::Vector& anomaly) {
+  ESSEX_REQUIRE(anomaly.size() == central_.size(),
+                "anomaly column dimension mismatch");
+  const std::span<double> anom = arena_->allocate(central_.size());
+  for (std::size_t i = 0; i < anom.size(); ++i) anom[i] = anomaly[i];
+  absorb(member_id, anom);
+}
+
+void Differ::absorb(std::size_t member_id, std::span<double> anom) {
   // Catch-up loop: the Gram border is computed outside the lock against
   // whatever columns are already published (they are immutable), then the
   // lock is retaken — if more members landed meanwhile, absorb their

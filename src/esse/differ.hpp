@@ -141,8 +141,18 @@ class Differ {
   /// Absorb the forecast of member `member_id`, computing the new Gram
   /// border against all stored anomalies (O(m·k), outside the lock —
   /// concurrent writers only serialise for the O(1) append). Any arrival
-  /// order is accepted; duplicate ids are rejected.
-  void add_member(std::size_t member_id, const la::Vector& forecast);
+  /// order is accepted; duplicate ids are rejected. `weight` scales the
+  /// stored anomaly column (the multilevel per-level pooling factor,
+  /// DESIGN.md §15); the default 1.0 takes the exact single-level path.
+  void add_member(std::size_t member_id, const la::Vector& forecast,
+                  double weight = 1.0);
+
+  /// Absorb a precomputed anomaly column as member `member_id` — the
+  /// multilevel path for prolongated coarse-member anomalies, already
+  /// scaled by their level's pooling weight. Shares add_member's
+  /// absorption and catch-up-Gram machinery, so ordering, duplicate
+  /// rejection and the determinism contract are identical.
+  void add_anomaly(std::size_t member_id, const la::Vector& anomaly);
 
   /// Replace the forecast of an already-absorbed member (smoother-style
   /// rewrite of a past column). Every later column's cached Gram border
@@ -203,6 +213,11 @@ class Differ {
   }
 
  private:
+  /// Shared absorption path: publish the already-filled arena span as
+  /// member `member_id`'s column, computing its Gram border via the
+  /// catch-up loop. `computed` counts border dots for telemetry.
+  void absorb(std::size_t member_id, std::span<double> anom);
+
   la::Vector central_;
   std::shared_ptr<const ocean::Tiling> tiling_;  // null = unsharded
   mutable std::mutex mu_;

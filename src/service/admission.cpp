@@ -28,11 +28,12 @@ std::string to_string(RejectReason reason) {
   return "unknown";
 }
 
-void RuntimeEstimator::observe(double service_time_s) {
-  if (service_time_s < 0.0) return;
-  estimate_ = samples_ == 0
-                  ? service_time_s
-                  : (1.0 - alpha_) * estimate_ + alpha_ * service_time_s;
+void RuntimeEstimator::observe(double service_time_s, double work_units) {
+  if (service_time_s < 0.0 || !(work_units > 0.0)) return;
+  const double per_unit = service_time_s / work_units;
+  per_unit_ = samples_ == 0
+                  ? per_unit
+                  : (1.0 - alpha_) * per_unit_ + alpha_ * per_unit;
   ++samples_;
 }
 
@@ -48,7 +49,7 @@ std::optional<Rejection> AdmissionController::decide(
   if (policy_.enforce_deadlines && std::isfinite(ticket.deadline_s)) {
     const double cost = ticket.expected_cost_s > 0.0
                             ? ticket.expected_cost_s
-                            : estimator.estimate_s();
+                            : estimator.estimate_s(ticket.work_units);
     // No cost signal at all: admit optimistically rather than guess.
     if (cost > 0.0) {
       const std::size_t slots = std::max<std::size_t>(load.max_inflight, 1);

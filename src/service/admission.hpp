@@ -84,20 +84,35 @@ struct AdmissionPolicy {
   double runtime_safety = 1.25;
 };
 
-/// Rolling estimate of one request's service time, fed by completions.
-/// Exponentially weighted so a drifting workload mix tracks quickly.
+/// Rolling estimate of service cost, fed by completions. Exponentially
+/// weighted so a drifting workload mix tracks quickly.
+///
+/// Observations are normalised to cost *per work unit* (ensemble size ×
+/// steps × state size, from the ticket) rather than raw service time: a
+/// single global EWMA over raw seconds lets a burst of small requests
+/// poison the estimate used to admit large ones — and a multilevel
+/// coarse/fine member mix makes request costs levels-of-magnitude
+/// heterogeneous, so the raw-seconds form flips admission decisions.
 class RuntimeEstimator {
  public:
   explicit RuntimeEstimator(double alpha = 0.2) : alpha_(alpha) {}
 
-  void observe(double service_time_s);
-  /// 0 until the first observation.
-  double estimate_s() const { return estimate_; }
+  /// Record a completion: `service_time_s` spent on `work_units` of
+  /// work. Unit-cost callers may omit the units (the pre-normalisation
+  /// behaviour).
+  void observe(double service_time_s, double work_units = 1.0);
+  /// Estimated service time for a request of `work_units`; 0 until the
+  /// first observation.
+  double estimate_s(double work_units = 1.0) const {
+    return per_unit_ * work_units;
+  }
+  /// The rolling seconds-per-work-unit itself.
+  double per_unit_s() const { return per_unit_; }
   std::size_t samples() const { return samples_; }
 
  private:
   double alpha_;
-  double estimate_ = 0.0;
+  double per_unit_ = 0.0;
   std::size_t samples_ = 0;
 };
 
@@ -108,6 +123,10 @@ struct AdmissionTicket {
   double deadline_s = std::numeric_limits<double>::infinity();
   /// Caller-supplied cost estimate; 0 = use the estimator.
   double expected_cost_s = 0.0;
+  /// Size of this request in work units (workflow::forecast_work_units);
+  /// scales the estimator's per-unit view back up to a runtime. 1 keeps
+  /// unit-cost semantics for callers without a size signal.
+  double work_units = 1.0;
 };
 
 /// A snapshot of the server's load, supplied by the service layer.
@@ -135,23 +154,35 @@ class AdmissionController {
 };
 
 /// Priority/deadline-ordered bounded queue of request ids. Dispatch order:
-/// higher priority first, then earlier deadline, then FIFO (sequence).
+/// higher priority first, then earlier deadline, then FIFO by arrival.
+///
+/// The queue stamps arrival order itself in push() — callers do not (and
+/// must not) manage sequence numbers. Before this, equal-(priority,
+/// deadline) ordering hung on caller discipline: two entries pushed with
+/// the same seq compared equivalent, and the backing std::set silently
+/// dropped the second request.
 class RequestQueue {
  public:
   struct Entry {
     std::uint64_t id = 0;
     int priority = 0;
     double deadline_s = std::numeric_limits<double>::infinity();
+    /// Arrival stamp, assigned by push(); any caller-supplied value is
+    /// overwritten.
     std::uint64_t seq = 0;
 
     bool operator<(const Entry& o) const {
       if (priority != o.priority) return priority > o.priority;
       if (deadline_s != o.deadline_s) return deadline_s < o.deadline_s;
-      return seq < o.seq;
+      if (seq != o.seq) return seq < o.seq;
+      return id < o.id;  // total order: ids are unique, nothing drops
     }
   };
 
-  void push(const Entry& entry) { entries_.insert(entry); }
+  void push(Entry entry) {
+    entry.seq = next_seq_++;
+    entries_.insert(entry);
+  }
   /// Best entry per the dispatch order; nullopt when empty.
   std::optional<Entry> pop();
   /// Remove a queued request by id (cancellation); false if absent.
@@ -164,6 +195,7 @@ class RequestQueue {
 
  private:
   std::set<Entry> entries_;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace essex::service

@@ -159,10 +159,12 @@ ForecastHandle ForecastService::submit(const ServiceRequest& request) {
     return reject(request, RejectReason::kInvalidRequest,
                   workflow::describe(issues));
   }
+  const double work_units = workflow::forecast_work_units(request.forecast);
   AdmissionTicket ticket;
   ticket.priority = request.priority;
   ticket.deadline_s = request.deadline_s;
   ticket.expected_cost_s = request.expected_cost_s;
+  ticket.work_units = work_units;
   ServerLoad load;
   load.now_s = now_s();
   load.queued = queue_.size();
@@ -174,7 +176,8 @@ ForecastHandle ForecastService::submit(const ServiceRequest& request) {
   }
   auto rec = std::make_shared<RequestRecord>(next_id_++, request);
   rec->submitted_s = load.now_s;
-  queue_.push({rec->id, request.priority, request.deadline_s, next_seq_++});
+  rec->work_units = work_units;
+  queue_.push({rec->id, request.priority, request.deadline_s});
   queued_records_.emplace(rec->id, rec);
   ++stats_.admitted;
   stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
@@ -275,7 +278,7 @@ void ForecastService::run_request(const std::shared_ptr<RequestRecord>& rec) {
         ++stats_.completed;
         missed = t_end > rec->deadline_s;
         if (missed) ++stats_.deadline_missed;
-        estimator_.observe(t_end - rec->started_s);
+        estimator_.observe(t_end - rec->started_s, rec->work_units);
         break;
       case RequestState::kFailed: ++stats_.failed; break;
       default: ++stats_.cancelled; break;

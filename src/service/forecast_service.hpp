@@ -93,6 +93,9 @@ struct RequestRecord {
   const double deadline_s;
   const double expected_cost_s;
   const std::string label;
+  /// Admission size (workflow::forecast_work_units), set at submit();
+  /// scales the estimator's per-unit completions back into runtimes.
+  double work_units = 1.0;
 
   std::atomic<bool> cancel{false};
 
@@ -199,7 +202,6 @@ class ForecastService {
   std::unordered_map<std::uint64_t, std::shared_ptr<RequestRecord>>
       running_records_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 1;
   std::size_t inflight_ = 0;
   bool stopping_ = false;
   bool stopped_ = false;

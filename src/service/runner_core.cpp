@@ -94,6 +94,17 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
   }
 
   esse::PerturbationGenerator pert(request.subspace, cp.perturbation);
+  // Multilevel mode (DESIGN.md §15): coarse-level models and their
+  // deterministic central forecasts are fixed up front, before any
+  // member runs, so every coarse anomaly column is a pure function of
+  // (seed, level, member id) — never of scheduling.
+  const esse::MultilevelParams& mlp = cp.multilevel;
+  std::optional<esse::MultilevelEnsemble> ml;
+  if (mlp.enabled()) {
+    telemetry::ScopedTimer timer(sink, "runner.ml_centrals_s");
+    ml.emplace(model, mlp);
+    ml->run_centrals(packed_initial, t0_hours, cp.forecast_hours);
+  }
   // Localized requests shard the differ's column store by the analysis
   // tiling so forecast-stage reductions use the same fixed per-tile
   // shapes the tiled analysis does (DESIGN.md §14).
@@ -133,12 +144,36 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
           }
         }
         la::Vector x0 = pert.perturbed_state(packed_initial, id);
-        la::Vector xf = run_member(model, x0, t0_hours, cp.forecast_hours,
-                                   cp.stochastic_members,
-                                   cp.perturbation.seed, id);
-        if (cancelled.load(std::memory_order_relaxed)) return;
-        if (config.arrival_hook) config.arrival_hook(id);
-        differ.add_member(id, xf);  // dedups a speculative duplicate
+        if (ml && id >= mlp.members_per_level[0]) {
+          // Coarse member: the fine perturbed state restricts to the
+          // member's level (restriction is linear, so the coarse IC is
+          // the restricted central plus the restricted perturbation),
+          // integrates on the level's model with the member's own RNG
+          // stream, and lands as a prolongated, weight-scaled anomaly
+          // about the level's central — global id keeps the canonical
+          // (level, member) order and exactly-once resolution.
+          const std::size_t level = mlp.level_of(id);
+          la::Vector x0c = ml->hierarchy().restrict_state(x0, level);
+          la::Vector xfc = run_member(ml->model(level), x0c, t0_hours,
+                                      cp.forecast_hours,
+                                      cp.stochastic_members,
+                                      cp.perturbation.seed, id);
+          if (cancelled.load(std::memory_order_relaxed)) return;
+          if (config.arrival_hook) config.arrival_hook(id);
+          differ.add_anomaly(id, ml->fine_anomaly(level, xfc));
+          if (sink) sink->count("runner.ml_coarse_members");
+        } else {
+          la::Vector xf = run_member(model, x0, t0_hours,
+                                     cp.forecast_hours,
+                                     cp.stochastic_members,
+                                     cp.perturbation.seed, id);
+          if (cancelled.load(std::memory_order_relaxed)) return;
+          if (config.arrival_hook) config.arrival_hook(id);
+          // dedups a speculative duplicate; weight 1.0 (single-level)
+          // is the exact historical path.
+          differ.add_member(id, xf,
+                            ml ? mlp.column_weight(0) : 1.0);
+        }
         if (sink) sink->count("runner.members_run");
         // Promote when the canonical contiguous-id prefix crosses a new
         // milestone (a multiple of svd_min_new_members). Keying promotion
@@ -180,11 +215,18 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
   Teardown teardown{exec, backend};
 
   auto fill_pool = [&] {
-    const auto m = static_cast<std::size_t>(std::ceil(
-        static_cast<double>(sizer.target()) * config.pool_headroom));
-    const std::size_t cap =
-        std::max(sizer.target(),
-                 std::min(m, cp.ensemble.max_members));
+    std::size_t cap;
+    if (ml) {
+      // Fixed multilevel layout: the planned per-level mix is the pool
+      // (no speculative headroom — ids beyond the plan have no level,
+      // and column weights are derived from the planned counts).
+      cap = mlp.total_members();
+    } else {
+      const auto m = static_cast<std::size_t>(std::ceil(
+          static_cast<double>(sizer.target()) * config.pool_headroom));
+      cap = std::max(sizer.target(),
+                     std::min(m, cp.ensemble.max_members));
+    }
     while (submitted < cap) exec.run_member(submitted++);
     if (sink) {
       sink->gauge_set("runner.pool_size", static_cast<double>(submitted));
@@ -258,8 +300,9 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
       resolved_now = resolved;
     }
     if (resolved_now >= submitted && store.version() == last_version) {
-      // Pool drained without convergence: grow toward Nmax or stop.
-      if (sizer.at_max()) break;
+      // Pool drained without convergence: grow toward Nmax or stop (the
+      // multilevel mix is fixed — no growth stage to fall back on).
+      if (ml || sizer.at_max()) break;
       sizer.grow();
       fill_pool();
     }

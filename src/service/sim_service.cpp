@@ -16,6 +16,38 @@ double member_cost_s(const mtc::EsseJobShape& shape) {
   return shape.pert_cpu_s + shape.pert_fs_s + shape.pemodel_cpu_s;
 }
 
+bool multilevel(const SimRequestSpec& spec) { return spec.levels > 1; }
+
+std::size_t total_planned(const SimRequestSpec& spec) {
+  std::size_t n = 0;
+  for (std::size_t m : spec.members_per_level) n += m;
+  return n;
+}
+
+/// Hierarchy level of the idx-th dispatched member (level-major, fine
+/// level first — the same canonical order the real runner's gids use).
+std::size_t level_of_index(const SimRequestSpec& spec, std::size_t idx) {
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < spec.members_per_level.size(); ++l) {
+    off += spec.members_per_level[l];
+    if (idx < off) return l;
+  }
+  return spec.members_per_level.empty() ? 0
+                                        : spec.members_per_level.size() - 1;
+}
+
+/// Admission work units: planned member cost relative to one fine
+/// member — the sim analogue of workflow::forecast_work_units.
+double spec_work_units(const SimRequestSpec& spec) {
+  if (!multilevel(spec)) return static_cast<double>(spec.max_members);
+  double units = 0.0;
+  for (std::size_t l = 0; l < spec.members_per_level.size(); ++l) {
+    units += static_cast<double>(spec.members_per_level[l]) *
+             std::pow(spec.level_cost_ratio, static_cast<double>(l));
+  }
+  return units;
+}
+
 }  // namespace
 
 SimForecastService::SimForecastService(mtc::Simulator& sim,
@@ -32,7 +64,12 @@ SimForecastService::SimForecastService(mtc::Simulator& sim,
     if (it == job_owner_.end()) return;  // not ours (foreign job)
     const std::uint64_t rid = it->second;
     job_owner_.erase(it);
-    on_member_done(rid, rec.status);
+    std::size_t level = 0;
+    if (auto lit = job_level_.find(rec.id); lit != job_level_.end()) {
+      level = lit->second;
+      job_level_.erase(lit);
+    }
+    on_member_done(rid, level, rec.status);
   });
 }
 
@@ -80,6 +117,19 @@ std::uint64_t SimForecastService::submit(const SimRequestSpec& spec) {
       os << "spec.min_members: floor must be <= Nmax";
     } else if (spec.converge_at < 1) {
       os << "spec.converge_at: modelled convergence needs >= 1 member";
+    } else if (spec.levels < 1) {
+      os << "spec.levels: hierarchy needs at least the fine level";
+    } else if (multilevel(spec) &&
+               spec.members_per_level.size() != spec.levels) {
+      os << "spec.members_per_level: must name a member count for every "
+            "level";
+    } else if (multilevel(spec) && spec.members_per_level[0] < 2) {
+      os << "spec.members_per_level: the fine level needs >= 2 members";
+    } else if (multilevel(spec) && !(spec.level_cost_ratio > 0.0 &&
+                                     spec.level_cost_ratio <= 1.0)) {
+      os << "spec.level_cost_ratio: cost discount must lie in (0, 1]";
+    } else if (spec.fine_cores < 1) {
+      os << "spec.fine_cores: a fine member needs >= 1 core";
     }
     const std::string msg = os.str();
     if (!msg.empty()) {
@@ -91,6 +141,7 @@ std::uint64_t SimForecastService::submit(const SimRequestSpec& spec) {
   ticket.priority = spec.priority;
   ticket.deadline_s = spec.deadline_s;
   ticket.expected_cost_s = spec.expected_cost_s;
+  ticket.work_units = spec_work_units(spec);
   ServerLoad load;
   load.now_s = now;
   load.queued = queue_.size();
@@ -101,7 +152,7 @@ std::uint64_t SimForecastService::submit(const SimRequestSpec& spec) {
     return record_rejection(rej->reason, std::move(rej->message));
   }
 
-  queue_.push({id, spec.priority, spec.deadline_s, next_seq_++});
+  queue_.push({id, spec.priority, spec.deadline_s});
   queued_specs_.emplace(id, spec);
   queued_at_.emplace(id, now);
   ++stats_.admitted;
@@ -137,7 +188,14 @@ void SimForecastService::start(std::uint64_t id, const SimRequestSpec& spec,
   a.id = id;
   a.submitted_s = submitted_s;
   a.started_s = sim_.now();
-  a.goal = std::min(spec.converge_at, spec.max_members);
+  if (multilevel(spec)) {
+    // Fixed plan: every planned (level, member) runs unless convergence
+    // cancels the tail; the goal counts completions across all levels.
+    a.goal = std::min(spec.converge_at, total_planned(spec));
+    a.completed_per_level.assign(spec.levels, 0);
+  } else {
+    a.goal = std::min(spec.converge_at, spec.max_members);
+  }
   auto [it, inserted] = active_.emplace(id, std::move(a));
   ESSEX_ASSERT(inserted, "duplicate active request id");
   if (config_.sink) {
@@ -151,6 +209,8 @@ void SimForecastService::start(std::uint64_t id, const SimRequestSpec& spec,
 }
 
 std::size_t SimForecastService::pool_cap(const Active& a) const {
+  // Multilevel plans are fixed budgets: no headroom, no growth stages.
+  if (multilevel(a.spec)) return total_planned(a.spec);
   return a.sizer.pool_target(config_.pool_headroom);
 }
 
@@ -161,17 +221,30 @@ void SimForecastService::fill(Active& a) {
 }
 
 void SimForecastService::submit_member(Active& a) {
-  const double cost = member_cost_s(config_.shape);
-  const mtc::JobId jid = sched_.submit([cost](mtc::JobContext& ctx) {
-    ctx.compute(cost, [&ctx] { ctx.finish(); });
-  });
+  std::size_t level = 0;
+  double cost = member_cost_s(config_.shape);
+  std::size_t cores = 1;
+  if (multilevel(a.spec)) {
+    level = level_of_index(a.spec, a.dispatched);
+    cost *= std::pow(a.spec.level_cost_ratio, static_cast<double>(level));
+    // Fine members may reserve several cores; coarse members are always
+    // 1-core so backfill packs them into slots fine members leave idle.
+    cores = level == 0 ? a.spec.fine_cores : 1;
+  }
+  const mtc::JobId jid = sched_.submit(
+      [cost](mtc::JobContext& ctx) {
+        ctx.compute(cost, [&ctx] { ctx.finish(); });
+      },
+      cores);
   job_owner_.emplace(jid, a.id);
+  job_level_.emplace(jid, level);
   a.live_jobs.push_back(jid);
   ++a.dispatched;
   ++a.outstanding;
 }
 
 void SimForecastService::on_member_done(std::uint64_t request_id,
+                                        std::size_t level,
                                         mtc::JobStatus status) {
   auto it = active_.find(request_id);
   if (it == active_.end()) return;
@@ -179,7 +252,10 @@ void SimForecastService::on_member_done(std::uint64_t request_id,
   ESSEX_ASSERT(a.outstanding > 0, "member resolution with none outstanding");
   --a.outstanding;
   switch (status) {
-    case mtc::JobStatus::kDone: ++a.completed; break;
+    case mtc::JobStatus::kDone:
+      ++a.completed;
+      if (level < a.completed_per_level.size()) ++a.completed_per_level[level];
+      break;
     case mtc::JobStatus::kFailed: ++a.failed; break;
     default: ++a.cancelled; break;  // kCancelled / kEvicted
   }
@@ -196,8 +272,9 @@ void SimForecastService::on_member_done(std::uint64_t request_id,
   }
   if (a.outstanding == 0 && a.dispatched >= pool_cap(a)) {
     // Pool drained without reaching the goal: grow toward Nmax or give
-    // up with what landed (the real runner's unconverged fallback).
-    if (a.sizer.at_max()) {
+    // up with what landed (the real runner's unconverged fallback). A
+    // multilevel plan is its own budget — nothing left to grow.
+    if (multilevel(a.spec) || a.sizer.at_max()) {
       begin_finish(a);
       return;
     }
@@ -212,6 +289,7 @@ void SimForecastService::on_member_done(std::uint64_t request_id,
 
 void SimForecastService::maybe_shrink_for_deadline(Active& a) {
   if (!config_.shrink_under_deadline_pressure) return;
+  if (multilevel(a.spec)) return;  // fixed plan; no growth stages to undo
   if (!std::isfinite(a.spec.deadline_s)) return;
   if (a.sizer.at_min()) return;
   const double cost = member_cost_s(config_.shape);
@@ -270,13 +348,14 @@ void SimForecastService::finalize(std::uint64_t id) {
   out.members_completed = a.completed;
   out.members_cancelled = a.cancelled;
   out.members_failed = a.failed;
+  out.members_completed_per_level = a.completed_per_level;
   out.converged = a.completed >= a.spec.converge_at;
   out.degraded = a.degraded;
   out.deadline_met = a.done_s <= a.spec.deadline_s;
 
   ++stats_.completed;
   if (!out.deadline_met) ++stats_.deadline_missed;
-  estimator_.observe(a.done_s - a.started_s);
+  estimator_.observe(a.done_s - a.started_s, spec_work_units(a.spec));
   if (telemetry::Sink* sink = config_.sink) {
     sink->count("service.done");
     if (!out.deadline_met) sink->count("service.deadline_missed");

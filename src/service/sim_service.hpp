@@ -71,6 +71,22 @@ struct SimRequestSpec {
   double deadline_s = std::numeric_limits<double>::infinity();
   double expected_cost_s = 0.0;  ///< admission cost hint (0 = estimator)
   std::string label;
+  // -- Multilevel member mix (DES rendering of esse::MultilevelParams) --
+  /// 1 = single-fidelity (fields below ignored). With levels > 1 the
+  /// member plan is fixed: members_per_level jobs per level, fine level
+  /// first, dispatched level-major — no ensemble growth or deadline
+  /// shrink (the plan IS the budget, mirroring the real runner).
+  std::size_t levels = 1;
+  /// Planned members per level, fine (level 0) first; size == levels.
+  std::vector<std::size_t> members_per_level;
+  /// Per-level cost discount: a level-l member costs
+  /// member_cost × level_cost_ratio^l. Default 1/8 = factor-2 horizontal
+  /// coarsening under an advective CFL (¼ points × ½ steps).
+  double level_cost_ratio = 0.125;
+  /// Cores a fine member job reserves; coarse members always take 1, so
+  /// the backfill scheduler packs them into slots a fine member leaves
+  /// idle (ISSUE: nested-jobs policy).
+  std::size_t fine_cores = 1;
 };
 
 /// Terminal record of one request (admitted or rejected).
@@ -89,6 +105,8 @@ struct SimRequestOutcome {
   std::size_t members_completed = 0;
   std::size_t members_cancelled = 0;
   std::size_t members_failed = 0;
+  /// Per-level completion counts (fine first); empty when levels == 1.
+  std::vector<std::size_t> members_completed_per_level;
   bool converged = false;
   /// Finished below the original convergence goal (deadline shrink).
   bool degraded = false;
@@ -137,6 +155,7 @@ class SimForecastService {
     std::size_t completed = 0;
     std::size_t cancelled = 0;
     std::size_t failed = 0;
+    std::vector<std::size_t> completed_per_level;  ///< sized when levels > 1
     std::vector<mtc::JobId> live_jobs;  ///< this request's cluster jobs
     bool finishing = false;  ///< goal met/abandoned; draining cancels
     bool degraded = false;
@@ -152,7 +171,8 @@ class SimForecastService {
   void start(std::uint64_t id, const SimRequestSpec& spec, double submitted_s);
   void fill(Active& a);
   void submit_member(Active& a);
-  void on_member_done(std::uint64_t request_id, mtc::JobStatus status);
+  void on_member_done(std::uint64_t request_id, std::size_t level,
+                      mtc::JobStatus status);
   void maybe_shrink_for_deadline(Active& a);
   void begin_finish(Active& a);
   void finalize(std::uint64_t id);
@@ -170,10 +190,12 @@ class SimForecastService {
   std::map<std::uint64_t, double> queued_at_;
   std::map<std::uint64_t, Active> active_;
   std::map<mtc::JobId, std::uint64_t> job_owner_;
+  /// Hierarchy level of each live member job: resolution (and the
+  /// exactly-once accounting behind it) is per (level, member).
+  std::map<mtc::JobId, std::size_t> job_level_;
   std::vector<SimRequestOutcome> outcomes_;
   ServiceStats stats_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace essex::service

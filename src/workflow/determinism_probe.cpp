@@ -65,4 +65,33 @@ std::string golden_tiled_digest(std::size_t threads,
       golden_tiled_forecast(threads, std::move(arrival_hook)));
 }
 
+esse::ForecastResult golden_multilevel_forecast(
+    std::size_t threads, std::function<void(std::size_t)> arrival_hook) {
+  ocean::Scenario sc = ocean::make_double_gyre_scenario(12, 10, 3);
+  ocean::OceanModel model(sc.grid, sc.params, ocean::WindForcing(sc.wind),
+                          sc.initial);
+  const esse::ErrorSubspace subspace = esse::bootstrap_subspace(
+      model, sc.initial, 0.0, 3.0, 8, 0.99, 6, /*seed=*/11);
+
+  ParallelRunnerConfig cfg;
+  cfg.cycle.forecast_hours = 3.0;
+  cfg.cycle.threads = threads;
+  cfg.cycle.ensemble = {8, 2.0, 48};
+  cfg.cycle.convergence = {0.90, 6};
+  cfg.cycle.max_rank = 8;
+  cfg.cycle.multilevel.levels = 2;
+  cfg.cycle.multilevel.coarsen = 2;
+  cfg.cycle.multilevel.members_per_level = {8, 16};
+  cfg.svd_min_new_members = 4;
+  cfg.arrival_hook = std::move(arrival_hook);
+  return run_parallel_forecast(
+      ForecastRequest{model, sc.initial, subspace, 0.0, cfg});
+}
+
+std::string golden_multilevel_digest(
+    std::size_t threads, std::function<void(std::size_t)> arrival_hook) {
+  return esse::forecast_digest(
+      golden_multilevel_forecast(threads, std::move(arrival_hook)));
+}
+
 }  // namespace essex::workflow

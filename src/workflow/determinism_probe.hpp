@@ -47,4 +47,16 @@ esse::ForecastResult golden_tiled_forecast(
 std::string golden_tiled_digest(
     std::size_t threads, std::function<void(std::size_t)> arrival_hook = {});
 
+/// The same canonical run with a two-level multilevel ensemble (8 fine +
+/// 16 coarse members on the 6×5 coarsened grid). Like the tiled variant
+/// it is not pinned against a checked-in golden value — the determinism
+/// suite asserts self-consistency across thread counts and adversarial
+/// arrival orders, and that the single-level digest stays untouched.
+esse::ForecastResult golden_multilevel_forecast(
+    std::size_t threads,
+    std::function<void(std::size_t)> arrival_hook = {});
+
+std::string golden_multilevel_digest(
+    std::size_t threads, std::function<void(std::size_t)> arrival_hook = {});
+
 }  // namespace essex::workflow

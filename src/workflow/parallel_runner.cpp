@@ -1,6 +1,7 @@
 #include "workflow/parallel_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "ocean/state.hpp"
@@ -66,6 +67,59 @@ std::vector<ValidationIssue> validate(const ParallelRunnerConfig& config) {
         "tile count must be >= 1");
   check(issues, cp.tiling.tiles_y >= 1, "config.cycle.tiling.tiles_y",
         "tile count must be >= 1");
+  // Multilevel member-mix constraints (DESIGN.md §15); grid-dependent
+  // coarsenability checks live on the request overload.
+  const esse::MultilevelParams& ml = cp.multilevel;
+  check(issues, ml.levels >= 1, "config.cycle.multilevel.levels",
+        "hierarchy needs at least the fine level");
+  if (ml.enabled()) {
+    check(issues, ml.coarsen >= 2, "config.cycle.multilevel.coarsen",
+          "coarsening factor must be >= 2");
+    if (ml.members_per_level.size() != ml.levels) {
+      issues.push_back({"config.cycle.multilevel.members_per_level",
+                        "must name a member count for every level"});
+    } else {
+      check(issues, ml.members_per_level[0] >= 2,
+            "config.cycle.multilevel.members_per_level",
+            "the fine level needs >= 2 members");
+      bool level_sizes_ok = true;
+      for (std::size_t n : ml.members_per_level)
+        if (n == 1) level_sizes_ok = false;
+      check(issues, level_sizes_ok,
+            "config.cycle.multilevel.members_per_level",
+            "a used level needs >= 2 members (weights divide by n_l - 1)");
+    }
+    if (!ml.level_weights.empty()) {
+      if (ml.level_weights.size() != ml.members_per_level.size()) {
+        issues.push_back({"config.cycle.multilevel.level_weights",
+                          "must match members_per_level in size"});
+      } else {
+        bool nonneg = true;
+        double used_sum = 0.0;
+        for (std::size_t l = 0; l < ml.level_weights.size(); ++l) {
+          if (ml.level_weights[l] < 0.0) nonneg = false;
+          if (ml.members_per_level[l] > 0) used_sum += ml.level_weights[l];
+        }
+        check(issues, nonneg, "config.cycle.multilevel.level_weights",
+              "pooling weights must be >= 0");
+        check(issues, used_sum > 0.0,
+              "config.cycle.multilevel.level_weights",
+              "weights over the used levels must not all vanish");
+      }
+    }
+    if (!ml.cost_ratios.empty()) {
+      bool ratios_ok = ml.cost_ratios.size() == ml.levels;
+      if (ratios_ok)
+        for (double r : ml.cost_ratios)
+          if (!(r > 0.0)) ratios_ok = false;
+      check(issues, ratios_ok, "config.cycle.multilevel.cost_ratios",
+            "cost ratios must cover every level and be positive");
+    }
+    check(issues, !cp.localization.enabled,
+          "config.cycle.multilevel.levels",
+          "multilevel ensembles do not compose with localized analysis "
+          "yet — run one or the other");
+  }
   return issues;
 }
 
@@ -85,6 +139,22 @@ std::vector<ValidationIssue> validate(const ForecastRequest& request) {
   // Tiling geometry checks need the grid, so they live on the request.
   const esse::CycleParams& cp = request.config.cycle;
   const ocean::Grid3D& grid = request.model.grid();
+  if (cp.multilevel.enabled()) {
+    // Every coarsened level must keep the 3x3 Grid3D minimum.
+    std::size_t nx = grid.nx(), ny = grid.ny();
+    const std::size_t f = std::max<std::size_t>(cp.multilevel.coarsen, 2);
+    for (std::size_t l = 1; l < cp.multilevel.levels; ++l) {
+      nx = (nx + f - 1) / f;
+      ny = (ny + f - 1) / f;
+      if (nx < 3 || ny < 3) {
+        std::ostringstream os;
+        os << "level " << l << " coarsens the grid to " << nx << "x" << ny
+           << ", below the 3x3 minimum";
+        issues.push_back({"config.cycle.multilevel.levels", os.str()});
+        break;
+      }
+    }
+  }
   if (cp.localization.enabled && cp.tiling.tiles_x >= 1 &&
       cp.tiling.tiles_y >= 1) {
     if (cp.tiling.tiles_x > grid.nx()) {
@@ -113,6 +183,25 @@ std::vector<ValidationIssue> validate(const ForecastRequest& request) {
     }
   }
   return issues;
+}
+
+double forecast_work_units(const ForecastRequest& request) {
+  const double m = static_cast<double>(
+      ocean::OceanState::packed_size(request.model.grid()));
+  const double dt = request.model.max_stable_dt_hours();
+  const double steps =
+      std::max(1.0, std::ceil(request.config.cycle.forecast_hours / dt));
+  const esse::MultilevelParams& ml = request.config.cycle.multilevel;
+  if (!ml.enabled()) {
+    // Worst-case planned ensemble: admission should not bet on early
+    // convergence (the estimator's EWMA absorbs the systematic ratio).
+    const double n =
+        static_cast<double>(request.config.cycle.ensemble.max_members);
+    return n * steps * m;
+  }
+  // Fixed per-level member mix, coarse members discounted by the CFL
+  // cost ratio (points × steps shrink together).
+  return ml.total_cost_units() * steps * m;
 }
 
 std::string describe(const std::vector<ValidationIssue>& issues) {

@@ -90,6 +90,14 @@ std::vector<ValidationIssue> validate(const ForecastRequest& request);
 /// exceptions and rejection payloads). Empty string for no issues.
 std::string describe(const std::vector<ValidationIssue>& issues);
 
+/// Admission work units of one request: planned ensemble cost in
+/// (members × model steps × packed state size), with multilevel member
+/// mixes discounted by their per-level cost ratios. The ForecastService
+/// feeds this to the RuntimeEstimator so its EWMA tracks seconds *per
+/// work unit* — a burst of small requests can no longer poison the
+/// admission estimate for a large one (and vice versa).
+double forecast_work_units(const ForecastRequest& request);
+
 /// Run the uncertainty forecast with the Fig. 4 pipeline on real threads.
 /// Returns the unified forecast result; `result.mtc` carries the MTC
 /// accounting (pool size, cancellations, SVD runs, store versions) fed by

@@ -98,6 +98,27 @@ TEST(Determinism, TiledForecastIsThreadAndArrivalInvariant) {
   EXPECT_NE(baseline, digest_threads1());
 }
 
+TEST(Determinism, MultilevelForecastIsThreadAndArrivalInvariant) {
+  // The multilevel run (mixed-resolution members, DESIGN.md §15) obeys
+  // the same contract: pooled coarse columns are pre-scaled from planned
+  // counts and absorbed in canonical (level, member) id order, so one
+  // digest across thread counts and adversarial arrival schedules. Like
+  // the tiled variant it is self-consistent, not pinned — the checked-in
+  // golden digest belongs to the single-level run, which levels == 1
+  // must leave bitwise untouched (MatchesCheckedInGoldenDigest).
+  const std::string baseline = golden_multilevel_digest(1);
+  EXPECT_EQ(golden_multilevel_digest(4), baseline);
+  const std::string shuffled =
+      golden_multilevel_digest(4, [](std::size_t id) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((id * 37 + 11) % 7));
+      });
+  EXPECT_EQ(shuffled, baseline);
+  // And the coarse members genuinely changed the product: same seed,
+  // different estimator, different digest.
+  EXPECT_NE(baseline, digest_threads1());
+}
+
 TEST(Determinism, SerializedProductIsSelfConsistent) {
   const esse::ForecastResult res = golden_forecast(2);
   const std::string bytes = esse::serialize_forecast_product(res);

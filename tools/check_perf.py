@@ -16,14 +16,21 @@ dispatch tier is likewise skipped wholesale — there is nothing to
 ratchet when the hardware (or an ESSEX_SIMD_LEVEL override) turns the
 vector kernels off.
 
+Coverage is checked both ways: a measured kernel with no baseline floor
+is an error (it would otherwise ride along ungated forever — add a floor
+to the baseline), and a gated bench file that reports no kernels and
+declares nothing skipped is an error (an empty report is a harness bug,
+not a pass).
+
 Usage:
     python3 tools/check_perf.py <bench.json> [<bench.json> ...] [baseline.json]
+    python3 tools/check_perf.py --self-test
 
 The baseline argument is recognised by shape (its "kernels" table is an
 object of floors, a bench's is a list of measurements), so the classic
 two-argument form keeps working. Defaults to tests/perf_baseline.json.
 
-Exit codes: 0 ok, 1 perf regressed, 2 bad inputs.
+Exit codes: 0 ok, 1 perf regressed or ungated kernels, 2 bad inputs.
 """
 
 import json
@@ -39,6 +46,8 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if argv[1] == "--self-test":
+        return self_test()
 
     baseline = None
     baseline_path = "tests/perf_baseline.json"
@@ -61,15 +70,28 @@ def main(argv):
     measured = {}
     skipped = set()
     gated_any = False
+    bad_inputs = False
     for path, bench in benches:
         if bench.get("simd_level", "") == "scalar":
             print(f"perf ratchet: {path} ran on the scalar tier — "
                   "skipping its kernels")
             continue
         gated_any = True
+        names = [k.get("name") for k in bench.get("kernels", [])]
+        declared_skipped = bench.get("skipped", [])
+        if not names and not declared_skipped:
+            # A gated bench that measured nothing and skipped nothing is a
+            # broken harness, not a clean pass.
+            print(f"error: {path} reports no kernels and declares none "
+                  "skipped — empty bench output cannot be gated",
+                  file=sys.stderr)
+            bad_inputs = True
+            continue
         for k in bench.get("kernels", []):
             measured[k.get("name")] = k
-        skipped.update(bench.get("skipped", []))
+        skipped.update(declared_skipped)
+    if bad_inputs:
+        return 2
     if not gated_any:
         print("perf ratchet: every bench ran on the scalar tier — nothing "
               "to gate, skipping")
@@ -104,11 +126,80 @@ def main(argv):
         print(f"{name:<18} speedup {speedup:6.2f}x  "
               f"baseline {want:.2f}x (floor {floor:.2f}x)  {verdict}")
 
+    # The reverse coverage check: every measured kernel must be gated.
+    # Before this, a kernel present in the results but absent from the
+    # baseline sailed through silently — new benches ran ungated forever.
+    unknown = sorted(set(measured) - set(floors))
+    for name in unknown:
+        print(f"error: kernel '{name}' is measured but has no baseline "
+              f"floor in {baseline_path} — add one so it is gated",
+              file=sys.stderr)
+    if unknown:
+        failed.extend(unknown)
+
     if failed:
-        print(f"FAIL: tracked speedup regressed for: {', '.join(failed)}. "
-              f"Either restore the kernel or (with reviewer sign-off) "
-              f"lower {baseline_path}", file=sys.stderr)
+        print(f"FAIL: tracked speedup regressed (or kernel ungated) for: "
+              f"{', '.join(failed)}. Either restore the kernel or (with "
+              f"reviewer sign-off) adjust {baseline_path}", file=sys.stderr)
         return 1
+    return 0
+
+
+def self_test():
+    """Exercise the ratchet's decision table on tempfile fixtures."""
+    import os
+    import tempfile
+
+    baseline = {"kernels": {"alpha": {"speedup": 2.0},
+                            "beta": {"speedup": 4.0}}}
+
+    def bench(kernels, skipped=None, simd_level="avx2"):
+        doc = {"simd_level": simd_level,
+               "kernels": [{"name": n, "speedup": s} for n, s in kernels]}
+        if skipped is not None:
+            doc["skipped"] = skipped
+        return doc
+
+    cases = [
+        ("all kernels at baseline pass",
+         bench([("alpha", 2.0), ("beta", 4.0)]), 0),
+        ("within slack passes",
+         bench([("alpha", 2.0 * (1.0 - SLACK_FRAC) + 1e-9), ("beta", 4.0)]),
+         0),
+        ("regression below the floor fails",
+         bench([("alpha", 1.0), ("beta", 4.0)]), 1),
+        ("measured kernel with no baseline floor fails",
+         bench([("alpha", 2.0), ("beta", 4.0), ("gamma", 9.0)]), 1),
+        ("missing kernel without a skip declaration is a bad input",
+         bench([("alpha", 2.0)]), 2),
+        ("declared-skipped kernels pass over their floors",
+         bench([("alpha", 2.0)], skipped=["beta"]), 0),
+        ("all kernels declared skipped still passes (1-core boxes)",
+         bench([], skipped=["alpha", "beta"]), 0),
+        ("gated bench with no kernels and no skips is a bad input",
+         bench([]), 2),
+        ("scalar-tier bench is skipped wholesale",
+         bench([], simd_level="scalar"), 0),
+    ]
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh)
+        for i, (label, doc, want) in enumerate(cases):
+            bench_path = os.path.join(tmp, f"bench{i}.json")
+            with open(bench_path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            got = main(["check_perf.py", bench_path, base_path])
+            status = "ok" if got == want else "FAIL"
+            print(f"self-test: {label}: exit {got} (want {want}) {status}")
+            if got != want:
+                failures.append(label)
+    if failures:
+        print(f"self-test FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
     return 0
 
 
