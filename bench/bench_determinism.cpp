@@ -68,6 +68,34 @@ int main(int argc, char** argv) {
   std::cout << (agree ? "all digests agree" : "DIGEST MISMATCH") << "\n";
   if (!agree) return 1;
 
+  // Per-method analysis digests (DESIGN.md §16): every registered
+  // AnalysisMethod must produce one digest across thread counts and an
+  // adversarial observation-assembly shuffle.
+  const auto analysis1 = workflow::golden_analysis_digests(1);
+  const auto analysis4 = workflow::golden_analysis_digests(4);
+  const auto shuffled = workflow::golden_analysis_digests(
+      4, {}, /*obs_order_seed=*/0x0b5e7a11ULL);
+  bool methods_agree = true;
+  for (const auto& [method, digest] : analysis1) {
+    const std::string key = std::string(workflow::kGoldenRunKey) + "-" +
+                            esse::to_string(method);
+    std::cout << digest << "  " << key << "\n";
+    if (analysis4.at(method) != digest) methods_agree = false;
+    // Observation-assembly shuffle invariance is the ESRF's obligation:
+    // its serial sweep is order-dependent by construction, so analyze()
+    // canonicalizes the set and the digest must not move. The batch-form
+    // filters consume the set in the given order (a shuffle permutes
+    // their reduction order), so their contract covers threads and
+    // member arrival only.
+    if (method == esse::AnalysisMethod::kEsrf &&
+        shuffled.at(method) != digest)
+      methods_agree = false;
+  }
+  std::cout << (methods_agree ? "all analysis-method digests agree"
+                              : "ANALYSIS METHOD DIGEST MISMATCH")
+            << "\n";
+  if (!methods_agree) return 1;
+
   if (write_golden) {
     std::ofstream out(golden_path, std::ios::trunc);
     if (!out) {
@@ -76,6 +104,22 @@ int main(int argc, char** argv) {
     }
     out << runs.front().digest << "  " << workflow::kGoldenRunKey << "\n";
     std::cout << "wrote " << golden_path << "\n";
+
+    // The per-method digests live in their own file so the historical
+    // forecast digest never needs regeneration when a method is added.
+    const std::string methods_path =
+        golden_path.substr(0, golden_path.find_last_of('/') + 1) +
+        "analysis_methods.sha256";
+    std::ofstream mout(methods_path, std::ios::trunc);
+    if (!mout) {
+      std::cerr << "cannot write " << methods_path << "\n";
+      return 1;
+    }
+    for (const auto& [method, digest] : analysis1) {
+      mout << digest << "  " << workflow::kGoldenRunKey << "-"
+           << esse::to_string(method) << "\n";
+    }
+    std::cout << "wrote " << methods_path << "\n";
   }
   return 0;
 }

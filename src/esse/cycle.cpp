@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "ocean/hierarchy.hpp"
 
 namespace essex::esse {
 
@@ -29,6 +30,37 @@ la::Vector run_member(const ocean::OceanModel& model,
 }
 
 }  // namespace
+
+la::Vector run_surrogate_forecast(const ocean::OceanModel& model,
+                                  const ocean::OceanState& initial,
+                                  double t0_hours, double forecast_hours,
+                                  const AnalysisParams& analysis) {
+  ESSEX_REQUIRE(analysis.surrogate_levels >= 2,
+                "the multi-model surrogate needs levels >= 2");
+  ESSEX_REQUIRE(analysis.surrogate_coarsen >= 2,
+                "the multi-model surrogate needs a coarsening factor >= 2");
+  const ocean::GridHierarchy hier(model.grid(), analysis.surrogate_levels,
+                                  analysis.surrogate_coarsen);
+  const std::size_t l = analysis.surrogate_levels - 1;
+  const ocean::Grid3D& g = hier.grid(l);
+
+  // Coarse companion model: same physics and forcing, climatology
+  // restricted to the coarse grid (the MultilevelEnsemble recipe).
+  ocean::OceanState clim(g);
+  clim.unpack(hier.restrict_state(model.climatology().pack(), l), g);
+  const ocean::OceanModel coarse(g, model.params(), model.forcing(), clim);
+
+  ocean::OceanState st(g);
+  st.unpack(hier.restrict_state(initial.pack(), l), g);
+  coarse.run(st, t0_hours, forecast_hours, nullptr);
+
+  la::Vector fine = hier.prolong_state(st.pack(), l);
+  // The deliberate bias on top of the coarse truncation error: lets
+  // tests and benches dial the surrogate's wrongness explicitly.
+  if (analysis.surrogate_bias != 0.0)
+    for (double& v : fine) v += analysis.surrogate_bias;
+  return fine;
+}
 
 ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
                                         const ocean::OceanState& initial,
@@ -122,6 +154,11 @@ ForecastResult run_uncertainty_forecast(const ocean::OceanModel& model,
   out.members_run = differ.count();
   out.converged = conv.converged();
   out.convergence_history = conv.history();
+  if (params.analysis.method == AnalysisMethod::kMultiModel) {
+    out.surrogate_forecast = run_surrogate_forecast(
+        model, initial, t0_hours, params.forecast_hours, params.analysis);
+    if (params.sink) params.sink->count("esse.surrogate_runs");
+  }
   if (params.sink) {
     params.sink->count("esse.members_run",
                        static_cast<double>(out.members_run));
@@ -151,6 +188,18 @@ CycleResult run_assimilation_cycle(const ocean::OceanModel& model,
   options.tiling = params.tiling;
   options.threads = params.threads;
   options.grid = &model.grid();
+  options.method = params.analysis.method;
+  options.sink = params.sink;
+  if (params.analysis.method == AnalysisMethod::kMultiModel) {
+    ESSEX_REQUIRE(out.forecast.surrogate_forecast.has_value(),
+                  "multi-model analysis needs the surrogate forecast");
+    options.multi_model.surrogate = &*out.forecast.surrogate_forecast;
+    options.multi_model.stride = params.analysis.pseudo_obs_stride;
+    options.multi_model.variance_inflation =
+        params.analysis.pseudo_variance_inflation;
+    options.multi_model.variance_floor =
+        params.analysis.pseudo_variance_floor;
+  }
   out.analysis = analyze(out.forecast.central_forecast,
                          out.forecast.forecast_subspace,
                          ObsSet::from_operator(h), options);

@@ -56,6 +56,13 @@ struct CycleParams {
   /// built from fewer members than planned (survivors of a faulty run),
   /// but refuses to assimilate below this many members.
   std::size_t min_analysis_members = 2;
+  /// Analysis filter selection + multi-model surrogate knobs (DESIGN.md
+  /// §16). The default — kSubspaceKalman — leaves the cycle bitwise
+  /// identical to the pre-refactor path. When method == kMultiModel the
+  /// forecast stage additionally integrates the deliberately-biased
+  /// coarse surrogate and the analysis assimilates it as
+  /// pseudo-observations.
+  AnalysisParams analysis;
   /// Optional telemetry sink (nullable, not owned): the forecast loop
   /// streams `esse.convergence` events (t = ensemble size, value = ρ) and
   /// `esse.*` counters into it.
@@ -94,7 +101,23 @@ struct ForecastResult {
   bool converged = false;
   std::vector<ConvergenceTest::Sample> convergence_history;
   std::optional<MtcAccounting> mtc;  ///< set by MTC runners only
+  /// Coarse companion forecast (packed, fine-grid dimension), present
+  /// only when CycleParams::analysis.method == kMultiModel — the
+  /// multi-model combiner's second opinion, assimilated as
+  /// pseudo-observations by the analysis stage.
+  std::optional<la::Vector> surrogate_forecast;
 };
+
+/// Integrate the multi-model surrogate: a deliberately-biased coarse
+/// companion forecast on the coarsest level of a GridHierarchy built
+/// from the fine model's grid per `analysis` (surrogate_levels /
+/// surrogate_coarsen), prolonged back to the fine grid with
+/// `surrogate_bias` added uniformly. Deterministic (no model noise) —
+/// one extra cheap integration per cycle.
+la::Vector run_surrogate_forecast(const ocean::OceanModel& model,
+                                  const ocean::OceanState& initial,
+                                  double t0_hours, double forecast_hours,
+                                  const AnalysisParams& analysis);
 
 /// Run the ensemble uncertainty forecast: integrate the central state and
 /// `N` perturbed members from `t0_hours` for `forecast_hours`, growing N

@@ -27,10 +27,18 @@ namespace essex::esse {
 /// Run the tiled update. `tiling` must match forecast.size(); `pool` is
 /// optional (serial when null). Called through analyze() — exposed for
 /// the localization tests and bench_local_analysis.
-AnalysisResult analyze_tiled(const la::Vector& forecast,
-                             const ErrorSubspace& subspace, const ObsSet& obs,
-                             const ocean::Tiling& tiling,
-                             const LocalizationParams& localization,
-                             ThreadPool* pool = nullptr);
+///
+/// `method` selects the per-tile solver; only the self-contained filters
+/// compose (kMultiModel resolves to a combined ObsSet inside analyze()
+/// before reaching here). The blend machinery is method-agnostic: it
+/// needs only C_t = S_t·S_tᵀ, which every solver's factor satisfies.
+/// Note: for kEsrf the per-tile sweep runs in obs-index order of `obs` —
+/// analyze() canonicalizes the set first; direct callers passing kEsrf
+/// must do the same to keep results arrival-invariant.
+AnalysisResult analyze_tiled(
+    const la::Vector& forecast, const ErrorSubspace& subspace,
+    const ObsSet& obs, const ocean::Tiling& tiling,
+    const LocalizationParams& localization, ThreadPool* pool = nullptr,
+    AnalysisMethod method = AnalysisMethod::kSubspaceKalman);
 
 }  // namespace essex::esse

@@ -46,11 +46,38 @@ std::string serialize_forecast_product(const ForecastResult& result) {
     out.write(reinterpret_cast<const char*>(&s.similarity),
               sizeof(s.similarity));
   }
+  // Trailing optional block: multi-model runs append the surrogate
+  // forecast; default runs emit no extra bytes at all, so every
+  // pre-existing golden digest is untouched.
+  if (result.surrogate_forecast) {
+    out.write("SURROGAT", 8);
+    put_doubles(out, *result.surrogate_forecast);
+  }
   return std::move(out).str();
 }
 
 std::string forecast_digest(const ForecastResult& result) {
   return sha256_hex(serialize_forecast_product(result));
+}
+
+std::string serialize_analysis_product(const AnalysisResult& result) {
+  std::ostringstream out(std::ios::binary);
+  out.write("ESSEXAPR", 8);
+  put_doubles(out, result.posterior_state);
+  put_u64(out, result.posterior_subspace.empty() ? 0 : 1);
+  if (!result.posterior_subspace.empty()) {
+    save_subspace(out, result.posterior_subspace);
+    put_doubles(out, result.posterior_subspace.marginal_stddev());
+  }
+  const double scalars[4] = {
+      result.prior_innovation_rms, result.posterior_innovation_rms,
+      result.prior_trace, result.posterior_trace};
+  out.write(reinterpret_cast<const char*>(scalars), sizeof(scalars));
+  return std::move(out).str();
+}
+
+std::string analysis_digest(const AnalysisResult& result) {
+  return sha256_hex(serialize_analysis_product(result));
 }
 
 }  // namespace essex::esse

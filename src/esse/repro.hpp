@@ -23,6 +23,17 @@ std::string serialize_forecast_product(const ForecastResult& result);
 
 /// Lowercase-hex SHA-256 of serialize_forecast_product(result) — the
 /// value the golden replay tests compare and ctest -L determinism pins.
+/// Multi-model forecasts append their surrogate as a trailing block;
+/// results without one serialize to exactly the historical bytes.
 std::string forecast_digest(const ForecastResult& result);
+
+/// Serialize the reproducible fields of an analysis: posterior state and
+/// subspace (ESXF bytes + std-dev map) plus the four scalar diagnostics.
+/// The per-method golden digests of tests/golden/analysis_methods.sha256
+/// are SHA-256 of these bytes.
+std::string serialize_analysis_product(const AnalysisResult& result);
+
+/// Lowercase-hex SHA-256 of serialize_analysis_product(result).
+std::string analysis_digest(const AnalysisResult& result);
 
 }  // namespace essex::esse

@@ -337,6 +337,14 @@ ExecOutcome execute_forecast(const workflow::ForecastRequest& request,
   }
   out.converged = conv.converged();
   out.convergence_history = conv.history();
+  if (cp.analysis.method == esse::AnalysisMethod::kMultiModel) {
+    // The coarse companion integration is one deterministic task, run
+    // after the ensemble so cancellation semantics are untouched.
+    telemetry::ScopedTimer timer(sink, "runner.surrogate_s");
+    out.surrogate_forecast = esse::run_surrogate_forecast(
+        model, request.initial, t0_hours, cp.forecast_hours, cp.analysis);
+    if (sink) sink->count("runner.surrogate_runs");
+  }
   acct.members_submitted = submitted;
   acct.members_cancelled = submitted - out.members_run;
   acct.store_versions = store.version();

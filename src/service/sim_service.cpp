@@ -39,8 +39,9 @@ std::size_t level_of_index(const SimRequestSpec& spec, std::size_t idx) {
 /// Admission work units: planned member cost relative to one fine
 /// member — the sim analogue of workflow::forecast_work_units.
 double spec_work_units(const SimRequestSpec& spec) {
-  if (!multilevel(spec)) return static_cast<double>(spec.max_members);
-  double units = 0.0;
+  if (!multilevel(spec))
+    return static_cast<double>(spec.max_members) + spec.surrogate_cost_ratio;
+  double units = spec.surrogate_cost_ratio;
   for (std::size_t l = 0; l < spec.members_per_level.size(); ++l) {
     units += static_cast<double>(spec.members_per_level[l]) *
              std::pow(spec.level_cost_ratio, static_cast<double>(l));
@@ -130,6 +131,9 @@ std::uint64_t SimForecastService::submit(const SimRequestSpec& spec) {
       os << "spec.level_cost_ratio: cost discount must lie in (0, 1]";
     } else if (spec.fine_cores < 1) {
       os << "spec.fine_cores: a fine member needs >= 1 core";
+    } else if (!(spec.surrogate_cost_ratio >= 0.0 &&
+                 spec.surrogate_cost_ratio <= 1.0)) {
+      os << "spec.surrogate_cost_ratio: surrogate cost must lie in [0, 1]";
     }
     const std::string msg = os.str();
     if (!msg.empty()) {

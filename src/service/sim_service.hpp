@@ -87,6 +87,10 @@ struct SimRequestSpec {
   /// the backfill scheduler packs them into slots a fine member leaves
   /// idle (ISSUE: nested-jobs policy).
   std::size_t fine_cores = 1;
+  /// Multi-model surrogate cost relative to one fine member (the sim
+  /// analogue of the coarse companion forecast a kMultiModel cycle adds).
+  /// 0 = no surrogate; must lie in [0, 1].
+  double surrogate_cost_ratio = 0.0;
 };
 
 /// Terminal record of one request (admitted or rejected).

@@ -246,4 +246,128 @@ LocalAnalysisReport run_local_analysis_oracle(std::uint64_t seed,
   return rep;
 }
 
+AnalysisMethodReport run_analysis_method_oracle(std::uint64_t seed,
+                                                esse::AnalysisMethod method,
+                                                std::size_t threads) {
+  // The tiled-vs-global oracle's fixture, reused verbatim so the two
+  // oracles quantify over the same scenario distribution.
+  ocean::Scenario sc = ocean::make_double_gyre_scenario(12, 10, 3);
+  ocean::OceanModel model(sc.grid, sc.params, ocean::WindForcing(sc.wind),
+                          sc.initial);
+  const esse::ErrorSubspace subspace = esse::bootstrap_subspace(
+      model, sc.initial, 0.0, 2.0, 8, 0.99, 8, seed);
+
+  ocean::OceanState state = sc.initial;
+  model.run(state, 0.0, 2.0, nullptr);
+  const la::Vector forecast = state.pack();
+
+  ObsDomain domain;
+  domain.x_hi_km = sc.grid.dx_km() * static_cast<double>(sc.grid.nx() - 1);
+  domain.y_hi_km = sc.grid.dy_km() * static_cast<double>(sc.grid.ny() - 1);
+  domain.depth_hi_m = 150.0;
+  Rng obs_rng(seed ^ 0x70c4fULL);
+  obs::ObservationSet set = gen_observations(domain, 10, 18).create(obs_rng);
+  Rng value_rng(seed ^ 0x3a91ULL);
+  obs::ObsOperator probe(sc.grid, set);
+  const la::Vector at_forecast = probe.apply(forecast);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    set[i].value = at_forecast[i] + value_rng.normal(0.0, set[i].noise_std);
+  obs::ObsOperator h(sc.grid, std::move(set));
+  const esse::ObsSet obs = esse::ObsSet::from_operator(h);
+
+  AnalysisMethodReport rep;
+  std::ostringstream detail;
+  const auto fail = [&](const std::string& what) {
+    rep.ok = false;
+    detail << esse::to_string(method) << ": " << what
+           << " (reproduce: seed=0x" << std::hex << seed << std::dec
+           << ", threads=" << threads << ")\n";
+  };
+
+  // The multi-model combiner needs its second opinion: a deliberately
+  // biased copy of the forecast stands in for the coarse companion.
+  la::Vector surrogate = forecast;
+  for (double& v : surrogate) v += 0.05;
+
+  esse::AnalysisOptions options;
+  options.method = method;
+  options.grid = &sc.grid;
+  options.threads = threads;
+  if (method == esse::AnalysisMethod::kMultiModel)
+    options.multi_model.surrogate = &surrogate;
+
+  const esse::AnalysisResult reference = esse::analyze(forecast, subspace,
+                                                       obs);
+  const esse::AnalysisResult global = esse::analyze(forecast, subspace, obs,
+                                                    options);
+  rep.prior_trace = global.prior_trace;
+  rep.posterior_trace = global.posterior_trace;
+
+  // (1) Filter equivalence on the global path. ETKF and ESRF are exact
+  // algebraic rewrites of the reference update (diagonal R), so their
+  // posterior means must agree to round-off; the combiner assimilates
+  // extra pseudo-data and is exempt.
+  if (method == esse::AnalysisMethod::kEtkf ||
+      method == esse::AnalysisMethod::kEsrf) {
+    rep.posterior_rms_vs_kalman =
+        la::rms_diff(reference.posterior_state, global.posterior_state);
+    if (rep.posterior_rms_vs_kalman > kPosteriorTolerance) {
+      std::ostringstream os;
+      os << "global posterior disagrees with the subspace-Kalman "
+            "reference: rms diff = "
+         << rep.posterior_rms_vs_kalman;
+      fail(os.str());
+    }
+    const double trace_gap =
+        std::abs(global.posterior_trace - reference.posterior_trace);
+    if (trace_gap > 1e-6 * std::max(1.0, reference.posterior_trace)) {
+      std::ostringstream os;
+      os << "posterior trace disagrees with the reference: |"
+         << global.posterior_trace << " - " << reference.posterior_trace
+         << "| = " << trace_gap;
+      fail(os.str());
+    }
+  }
+
+  // (2) Never hurts, globally.
+  const double slack = 1e-9 * std::max(1.0, global.prior_trace);
+  if (global.posterior_trace > global.prior_trace + slack) {
+    std::ostringstream os;
+    os << "global analysis hurt: posterior trace " << global.posterior_trace
+       << " > prior trace " << global.prior_trace;
+    fail(os.str());
+  }
+
+  // (3) Tiled collapse onto the method's own global update at a radius
+  // far beyond the domain, and never-hurts where tapering bites.
+  options.localization.enabled = true;
+  options.localization.radius_km = 1e4 * (domain.x_hi_km + domain.y_hi_km);
+  options.tiling.tiles_x = 3;
+  options.tiling.tiles_y = 2;
+  options.tiling.halo_cells = 2;
+  const esse::AnalysisResult tiled = esse::analyze(forecast, subspace, obs,
+                                                   options);
+  rep.tiled_rms_diff =
+      la::rms_diff(global.posterior_state, tiled.posterior_state);
+  if (rep.tiled_rms_diff > kPosteriorTolerance) {
+    std::ostringstream os;
+    os << "tiled posterior disagrees with global at untapered radius: "
+          "rms diff = "
+       << rep.tiled_rms_diff;
+    fail(os.str());
+  }
+  options.localization.radius_km = 0.25 * domain.x_hi_km;
+  const esse::AnalysisResult tight = esse::analyze(forecast, subspace, obs,
+                                                   options);
+  if (tight.posterior_trace > tight.prior_trace + slack) {
+    std::ostringstream os;
+    os << "tiled analysis hurt at tight radius: posterior trace "
+       << tight.posterior_trace << " > prior trace " << tight.prior_trace;
+    fail(os.str());
+  }
+
+  rep.detail = detail.str();
+  return rep;
+}
+
 }  // namespace essex::testkit

@@ -300,6 +300,69 @@ Gen<std::vector<std::size_t>> gen_arrival_order(std::size_t n) {
   return gen_permutation(n);
 }
 
+Gen<esse::AnalysisMethod> gen_analysis_method() {
+  Gen<esse::AnalysisMethod> g;
+  g.create = [](Rng& rng) {
+    const auto& reg = esse::analysis_method_registry();
+    return reg[rng.uniform_index(reg.size())];
+  };
+  g.shrink = [](const esse::AnalysisMethod& m) {
+    std::vector<esse::AnalysisMethod> cands;
+    if (m != esse::AnalysisMethod::kSubspaceKalman)
+      cands.push_back(esse::AnalysisMethod::kSubspaceKalman);
+    return cands;
+  };
+  g.describe = [](const esse::AnalysisMethod& m) {
+    return std::string("method ") + esse::to_string(m);
+  };
+  return g;
+}
+
+Gen<SurrogatePair> gen_surrogate_pair(SubspaceOpts opts, double bias_hi) {
+  const Gen<esse::ErrorSubspace> sub_gen = gen_subspace(opts);
+  Gen<SurrogatePair> g;
+  g.create = [sub_gen, bias_hi](Rng& rng) {
+    SurrogatePair sp;
+    sp.subspace = sub_gen.create(rng);
+    const std::size_t dim = sp.subspace.dim();
+    const std::size_t rank = sp.subspace.rank();
+    sp.forecast = rng.normals(dim);
+    // In-span anomaly: truth = forecast + E·(Λ^{1/2}·coeff).
+    la::Vector w(rank);
+    for (std::size_t j = 0; j < rank; ++j)
+      w[j] = sp.subspace.sigmas()[j] * rng.normal();
+    const la::Vector anomaly = sp.subspace.expand(w);
+    sp.truth = sp.forecast;
+    for (std::size_t i = 0; i < dim; ++i) sp.truth[i] += anomaly[i];
+    sp.bias = rng.uniform(-bias_hi, bias_hi);
+    sp.surrogate = sp.truth;
+    for (double& v : sp.surrogate) v += sp.bias;
+    return sp;
+  };
+  g.shrink = [](const SurrogatePair& sp) {
+    std::vector<SurrogatePair> cands;
+    if (sp.bias != 0.0) {
+      SurrogatePair exact = sp;
+      exact.bias = 0.0;
+      exact.surrogate = exact.truth;
+      cands.push_back(std::move(exact));
+    }
+    if (sp.subspace.rank() > 1) {
+      SurrogatePair thinner = sp;
+      thinner.subspace = sp.subspace.truncated(sp.subspace.rank() - 1);
+      cands.push_back(std::move(thinner));
+    }
+    return cands;
+  };
+  g.describe = [](const SurrogatePair& sp) {
+    std::ostringstream os;
+    os << "surrogate pair dim=" << sp.subspace.dim()
+       << " rank=" << sp.subspace.rank() << " bias=" << sp.bias;
+    return os.str();
+  };
+  return g;
+}
+
 std::function<void(std::size_t)> arrival_hook_from_order(
     std::vector<std::size_t> order) {
   // rank[id] = position of member id in the desired order (ids beyond

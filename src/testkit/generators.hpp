@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/proptest.hpp"
+#include "esse/analysis.hpp"
 #include "esse/error_subspace.hpp"
 #include "linalg/matrix.hpp"
 #include "mtc/fault.hpp"
@@ -102,6 +103,29 @@ Gen<mtc::FaultInjection> gen_fault_schedule(
 /// Member-arrival orders for `n` members: a uniformly random permutation
 /// (see gen_permutation) re-exported under the domain name.
 Gen<std::vector<std::size_t>> gen_arrival_order(std::size_t n);
+
+/// Uniform draw over esse::analysis_method_registry(). Shrinks toward
+/// the default kSubspaceKalman (the reference filter), so a falsified
+/// cross-method property lands on the simplest method that still fails.
+Gen<esse::AnalysisMethod> gen_analysis_method();
+
+/// A prior + deliberately-biased surrogate pair for the multi-model
+/// combiner: the surrogate is the truth plus a uniform bias, the truth
+/// lies in the prior subspace's span (so exact-observation oracles have
+/// something attainable to recover).
+struct SurrogatePair {
+  esse::ErrorSubspace subspace;
+  la::Vector forecast;   ///< prior mean
+  la::Vector truth;      ///< forecast + in-span anomaly
+  la::Vector surrogate;  ///< truth + bias — the wrong-but-useful model
+  double bias = 0.0;
+};
+
+/// Random surrogate pairs with dim/rank per `opts` and |bias| up to
+/// `bias_hi`. Shrinks by truncating the subspace rank and by zeroing the
+/// bias (toward the surrogate-equals-truth case).
+Gen<SurrogatePair> gen_surrogate_pair(SubspaceOpts opts = {},
+                                      double bias_hi = 0.5);
 
 /// Turn an arrival order into a ParallelRunnerConfig::arrival_hook that
 /// stalls each member proportionally to its rank in `order`, biasing the

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <string>
 
 #include "esse/cycle.hpp"
@@ -58,5 +59,21 @@ esse::ForecastResult golden_multilevel_forecast(
 
 std::string golden_multilevel_digest(
     std::size_t threads, std::function<void(std::size_t)> arrival_hook = {});
+
+/// Per-method analysis digests over the canonical golden run: one golden
+/// forecast on `threads` workers (under `arrival_hook`), one fixed
+/// probe-then-perturb observation batch, then every registered
+/// AnalysisMethod analyzes the same forecast (the multi-model combiner's
+/// surrogate comes from esse::run_surrogate_forecast on the same
+/// scenario). No digest may depend on `threads` or the arrival
+/// schedule. `obs_order_seed` != 0 hands analyze() an adversarially
+/// shuffled copy of the batch: the ESRF digest must not move (analyze()
+/// pins its serial sweep to canonical content order), while the
+/// batch-form filters legitimately reduce in the given order. Keys in
+/// tests/golden/analysis_methods.sha256 are
+/// "<kGoldenRunKey>-<method_name>".
+std::map<esse::AnalysisMethod, std::string> golden_analysis_digests(
+    std::size_t threads, std::function<void(std::size_t)> arrival_hook = {},
+    std::uint64_t obs_order_seed = 0);
 
 }  // namespace essex::workflow

@@ -120,6 +120,28 @@ std::vector<ValidationIssue> validate(const ParallelRunnerConfig& config) {
           "multilevel ensembles do not compose with localized analysis "
           "yet — run one or the other");
   }
+  // Analysis-method selection (DESIGN.md §16).
+  const esse::AnalysisParams& ap = cp.analysis;
+  check(issues, esse::is_registered(ap.method),
+        "config.cycle.analysis.method",
+        "analysis method is not registered");
+  if (ap.method == esse::AnalysisMethod::kMultiModel) {
+    check(issues, ap.surrogate_levels >= 2,
+          "config.cycle.analysis.surrogate_levels",
+          "the multi-model surrogate needs levels >= 2");
+    check(issues, ap.surrogate_coarsen >= 2,
+          "config.cycle.analysis.surrogate_coarsen",
+          "surrogate coarsening factor must be >= 2");
+    check(issues, ap.pseudo_obs_stride >= 1,
+          "config.cycle.analysis.pseudo_obs_stride",
+          "pseudo-observation stride must be >= 1");
+    check(issues, ap.pseudo_variance_inflation > 0.0,
+          "config.cycle.analysis.pseudo_variance_inflation",
+          "pseudo-observation variance inflation must be positive");
+    check(issues, ap.pseudo_variance_floor >= 0.0,
+          "config.cycle.analysis.pseudo_variance_floor",
+          "pseudo-observation variance floor must be >= 0");
+  }
   return issues;
 }
 
@@ -151,6 +173,25 @@ std::vector<ValidationIssue> validate(const ForecastRequest& request) {
         os << "level " << l << " coarsens the grid to " << nx << "x" << ny
            << ", below the 3x3 minimum";
         issues.push_back({"config.cycle.multilevel.levels", os.str()});
+        break;
+      }
+    }
+  }
+  if (cp.analysis.method == esse::AnalysisMethod::kMultiModel &&
+      cp.analysis.surrogate_coarsen >= 2) {
+    // The surrogate's coarsest level obeys the same 3x3 floor.
+    std::size_t nx = grid.nx(), ny = grid.ny();
+    for (std::size_t l = 1; l < cp.analysis.surrogate_levels; ++l) {
+      nx = (nx + cp.analysis.surrogate_coarsen - 1) /
+           cp.analysis.surrogate_coarsen;
+      ny = (ny + cp.analysis.surrogate_coarsen - 1) /
+           cp.analysis.surrogate_coarsen;
+      if (nx < 3 || ny < 3) {
+        std::ostringstream os;
+        os << "surrogate level " << l << " coarsens the grid to " << nx
+           << "x" << ny << ", below the 3x3 minimum";
+        issues.push_back(
+            {"config.cycle.analysis.surrogate_levels", os.str()});
         break;
       }
     }
@@ -191,17 +232,27 @@ double forecast_work_units(const ForecastRequest& request) {
   const double dt = request.model.max_stable_dt_hours();
   const double steps =
       std::max(1.0, std::ceil(request.config.cycle.forecast_hours / dt));
-  const esse::MultilevelParams& ml = request.config.cycle.multilevel;
+  const esse::CycleParams& cp = request.config.cycle;
+  // The multi-model surrogate is one extra deterministic integration on
+  // the coarsest hierarchy level, discounted like a coarse member.
+  double surrogate = 0.0;
+  if (cp.analysis.method == esse::AnalysisMethod::kMultiModel) {
+    surrogate =
+        std::pow(static_cast<double>(cp.analysis.surrogate_coarsen),
+                 -3.0 * static_cast<double>(cp.analysis.surrogate_levels -
+                                            1)) *
+        steps * m;
+  }
+  const esse::MultilevelParams& ml = cp.multilevel;
   if (!ml.enabled()) {
     // Worst-case planned ensemble: admission should not bet on early
     // convergence (the estimator's EWMA absorbs the systematic ratio).
-    const double n =
-        static_cast<double>(request.config.cycle.ensemble.max_members);
-    return n * steps * m;
+    const double n = static_cast<double>(cp.ensemble.max_members);
+    return n * steps * m + surrogate;
   }
   // Fixed per-level member mix, coarse members discounted by the CFL
   // cost ratio (points × steps shrink together).
-  return ml.total_cost_units() * steps * m;
+  return ml.total_cost_units() * steps * m + surrogate;
 }
 
 std::string describe(const std::vector<ValidationIssue>& issues) {

@@ -119,6 +119,68 @@ TEST(Determinism, MultilevelForecastIsThreadAndArrivalInvariant) {
   EXPECT_NE(baseline, digest_threads1());
 }
 
+TEST(Determinism, AnalysisMethodIsThreadAndArrivalInvariant) {
+  // Every registered filter obeys the §10 contract end to end: one
+  // analysis digest per method across thread counts {1, 4, 8} and
+  // adversarial member-arrival schedules. Observation-assembly shuffle
+  // invariance is additionally demanded of the ESRF — the one filter
+  // whose algorithm is order-dependent, pinned by canonical content
+  // ordering; the batch-form filters consume the set in the given order,
+  // so a shuffle legitimately permutes their reduction order. One golden
+  // forecast feeds all four methods per schedule, so this costs four
+  // forecast runs, not sixteen.
+  const auto baseline = golden_analysis_digests(1);
+  ASSERT_EQ(baseline.size(), esse::analysis_method_registry().size());
+  // Distinct filters must produce distinct products on the same data —
+  // equal digests would mean the dispatch is wired to one method.
+  EXPECT_NE(baseline.at(esse::AnalysisMethod::kSubspaceKalman),
+            baseline.at(esse::AnalysisMethod::kMultiModel));
+
+  const auto threads8 = golden_analysis_digests(8);
+  // Adversarial member-arrival schedule, natural observation order: the
+  // golden forecast is arrival-invariant and the analysis is a pure
+  // function of it, so every method's digest must hold.
+  const auto arrival = golden_analysis_digests(4, [](std::size_t id) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds((id * 37 + 11) % 7));
+  });
+  // Adversarial observation-assembly shuffle: only the ESRF — whose
+  // serial sweep analyze() pins to canonical content order — must hold.
+  const auto obs_shuffled =
+      golden_analysis_digests(4, {}, /*obs_order_seed=*/0x0b5e7a11ULL);
+  for (const auto& [method, digest] : baseline) {
+    SCOPED_TRACE(esse::to_string(method));
+    EXPECT_EQ(threads8.at(method), digest);
+    EXPECT_EQ(arrival.at(method), digest);
+    if (method == esse::AnalysisMethod::kEsrf)
+      EXPECT_EQ(obs_shuffled.at(method), digest);
+  }
+}
+
+TEST(Determinism, MatchesCheckedInAnalysisMethodDigests) {
+  const std::string path =
+      std::string(ESSEX_GOLDEN_DIR) + "/analysis_methods.sha256";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open())
+      << "missing golden digest file " << path
+      << " — regenerate with: bench_determinism --write-golden";
+  std::map<std::string, std::string> golden;
+  std::string hex, key;
+  while (f >> hex >> key) golden[key] = hex;
+  const auto digests = golden_analysis_digests(4);
+  for (const auto& [method, digest] : digests) {
+    const std::string k =
+        std::string(kGoldenRunKey) + "-" + esse::to_string(method);
+    const auto it = golden.find(k);
+    ASSERT_NE(it, golden.end()) << "golden file has no entry for " << k;
+    EXPECT_EQ(digest, it->second)
+        << "method " << esse::to_string(method)
+        << " no longer reproduces its checked-in digest. If the numerics "
+           "changed intentionally, regenerate with: bench_determinism "
+           "--write-golden (see DESIGN.md §10/§16).";
+  }
+}
+
 TEST(Determinism, SerializedProductIsSelfConsistent) {
   const esse::ForecastResult res = golden_forecast(2);
   const std::string bytes = esse::serialize_forecast_product(res);
